@@ -1,0 +1,1 @@
+bench/figures.ml: Array Cycle Dsl Exec Expr Func Harness List Options Pipeline Plan Printf Problem Repro_core Repro_ir Repro_mg Repro_poly Sizeexpr Solver Weights

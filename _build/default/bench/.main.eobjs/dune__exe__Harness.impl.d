@@ -1,0 +1,1 @@
+bench/harness.ml: Cycle Exec Float Gc Handopt List Option Options Printf Problem Repro_core Repro_mg Solver

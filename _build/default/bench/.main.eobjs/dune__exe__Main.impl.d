@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Cycle Figures Harness Hashtbl List Measure Options Printf Problem Repro_core Repro_mg Repro_nas Solver Staged String Sys Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: C_emit Cycle Exec Harness List Nas_coeffs Nas_pipeline Nas_problem Nas_ref Options Plan Printf Problem Repro_core Repro_ir Repro_mg Repro_nas Solver

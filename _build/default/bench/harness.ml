@@ -1,0 +1,155 @@
+(* Shared measurement utilities for the paper harness. *)
+
+open Repro_mg
+open Repro_core
+
+let init_gc () =
+  (* keep bigarray custom-block accounting from forcing extra majors, so
+     allocation costs reflect malloc/page-fault behaviour, not the GC *)
+  Gc.set
+    { (Gc.get ()) with
+      Gc.custom_major_ratio = 10000;
+      Gc.custom_minor_ratio = 10000 }
+
+(* paper methodology: minimum over [reps] measurements after one warmup *)
+let time_stepper ?(reps = 2) ~cycles stepper (problem : Problem.t) =
+  let run () =
+    (Solver.iterate stepper ~problem ~cycles ~residuals:false ())
+      .Solver.total_seconds
+  in
+  ignore (run ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    best := Float.min !best (run ())
+  done;
+  !best /. float_of_int cycles
+
+type variant = {
+  vname : string;
+  make : Cycle.config -> n:int -> rt:Exec.runtime -> Solver.stepper;
+}
+
+let polymg_variant vname opts =
+  { vname; make = (fun cfg ~n ~rt -> Solver.polymg_stepper cfg ~n ~opts ~rt) }
+
+(* Autotune-lite (paper §3.2.4 tunes 80-135 configurations per benchmark;
+   we probe a compact subset): group-size limits crossed with tile sizes,
+   one trial cycle each, keeping the fastest. *)
+let tune_space =
+  [ (1, [| 64; 512 |], [| 16; 16; 128 |]);
+    (3, [| 32; 512 |], [| 8; 16; 128 |]);
+    (3, [| 64; 512 |], [| 16; 16; 128 |]);
+    (6, [| 32; 256 |], [| 16; 16; 128 |]);
+    (6, [| 64; 512 |], [| 32; 32; 256 |]) ]
+
+let tune_opts base cfg ~n =
+  let problem =
+    Problem.poisson_random ~dims:cfg.Cycle.dims ~n ~seed:99
+  in
+  let best = ref (infinity, base) in
+  List.iter
+    (fun (limit, t2, t3) ->
+      let opts =
+        { (Options.with_tiles base ~t2 ~t3) with
+          Options.group_size_limit = limit }
+      in
+      let rt = Exec.runtime () in
+      (try
+         let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+         let t = time_stepper ~reps:2 ~cycles:1 stepper problem in
+         if t < fst !best then best := (t, opts)
+       with Invalid_argument _ -> ());
+      Exec.free_runtime rt)
+    tune_space;
+  snd !best
+
+let tuned_variant vname base =
+  { vname;
+    make =
+      (fun cfg ~n ~rt ->
+        let opts = tune_opts base cfg ~n in
+        Solver.polymg_stepper cfg ~n ~opts ~rt) }
+
+let handopt_variant =
+  { vname = "handopt";
+    make =
+      (fun cfg ~n ~rt ->
+        Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())) }
+
+let handpluto_variant ?(sigma = 16) () =
+  { vname = "handopt+pluto";
+    make =
+      (fun cfg ~n ~rt ->
+        Handopt.stepper
+          (Handopt.create cfg ~n ~par:rt.Exec.par
+             ~smoothing:(Handopt.Pluto { sigma })
+             ())) }
+
+let all_variants =
+  [ polymg_variant "polymg-naive" Options.naive;
+    handopt_variant;
+    handpluto_variant ();
+    tuned_variant "polymg-opt" Options.opt;
+    tuned_variant "polymg-opt+" Options.opt_plus;
+    tuned_variant "polymg-dtile-opt+" Options.dtile_opt_plus ]
+
+let benchmarks ~dims =
+  [ Cycle.default ~dims ~shape:Cycle.V ~smoothing:(4, 4, 4);
+    Cycle.default ~dims ~shape:Cycle.V ~smoothing:(10, 0, 0);
+    Cycle.default ~dims ~shape:Cycle.W ~smoothing:(4, 4, 4);
+    Cycle.default ~dims ~shape:Cycle.W ~smoothing:(10, 0, 0) ]
+
+(* Time every variant of one benchmark at one size; returns
+   (variant, seconds-per-cycle) in order.  Variants are measured
+   round-robin — one timed run each per round — so that machine noise
+   phases (frequency scaling, co-tenants) hit every variant equally, and
+   the per-variant minimum over rounds is reported. *)
+let run_benchmark ?(domains = 1) ?(cycles = 2) ?(reps = 2) ?variants cfg ~n =
+  let variants = Option.value variants ~default:all_variants in
+  let problem =
+    Problem.poisson_random ~dims:cfg.Cycle.dims ~n ~seed:20170704
+  in
+  let prepared =
+    List.map
+      (fun v ->
+        let rt = Exec.runtime ~domains () in
+        let stepper = v.make cfg ~n ~rt in
+        (* warm-up: first run allocates pools and touches memory *)
+        ignore (Solver.iterate stepper ~problem ~cycles:1 ~residuals:false ());
+        (v, rt, stepper, ref infinity))
+      variants
+  in
+  for _ = 1 to reps do
+    List.iter
+      (fun (_, _, stepper, best) ->
+        let t =
+          (Solver.iterate stepper ~problem ~cycles ~residuals:false ())
+            .Solver.total_seconds
+          /. float_of_int cycles
+        in
+        if t < !best then best := t)
+      prepared
+  done;
+  List.map
+    (fun (v, rt, _, best) ->
+      Exec.free_runtime rt;
+      (v.vname, !best))
+    prepared
+
+let speedup_table ~base rows =
+  let tbase = List.assoc base rows in
+  List.map (fun (name, t) -> (name, t, tbase /. t)) rows
+
+let print_speedups ~title ~base rows =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "  %-20s %12s %10s\n" "variant" "s/cycle" "speedup";
+  List.iter
+    (fun (name, t, s) -> Printf.printf "  %-20s %12.4f %9.2fx\n" name t s)
+    (speedup_table ~base rows)
+
+let geomean xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 xs
+         /. float_of_int (List.length xs))

@@ -1,0 +1,1 @@
+bin/autotune.ml: Arg Array Cmd Cmdliner Cycle Exec Float Gc List Options Printf Problem Repro_core Repro_mg Solver String Term

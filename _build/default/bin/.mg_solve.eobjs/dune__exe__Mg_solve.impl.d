@@ -1,0 +1,1 @@
+bin/mg_solve.ml: Arg Cmd Cmdliner Cycle Exec Format Gc Handopt List Options Plan Printf Problem Repro_core Repro_mg Solver String Term Verify

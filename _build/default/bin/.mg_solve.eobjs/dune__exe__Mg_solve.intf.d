@@ -1,0 +1,1 @@
+bin/mg_solve.mli:

@@ -1,0 +1,1 @@
+bin/polymg_dump.ml: Arg C_emit Cmd Cmdliner Cycle Format Options Plan Repro_core Repro_ir Repro_mg String Term

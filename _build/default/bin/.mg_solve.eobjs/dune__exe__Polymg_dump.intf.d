@@ -1,0 +1,1 @@
+bin/polymg_dump.mli:

@@ -1,0 +1,125 @@
+(* Command-line multigrid solver: the end-to-end driver a user runs.
+
+   Examples:
+     mg_solve --dims 2 --cycle V --n 256 --cycles 10
+     mg_solve --dims 3 --cycle W --smoothing 10,0,0 --variant dtile-opt+
+     mg_solve --dims 2 --cycle F --levels 6 --variant handopt --verbose *)
+
+open Cmdliner
+open Repro_mg
+open Repro_core
+
+let run dims cycle smoothing levels n variant cycles domains verbose =
+  Gc.set
+    { (Gc.get ()) with
+      Gc.custom_major_ratio = 10000;
+      Gc.custom_minor_ratio = 10000 };
+  let shape =
+    match String.uppercase_ascii cycle with
+    | "V" -> Cycle.V
+    | "W" -> Cycle.W
+    | "F" -> Cycle.F
+    | _ -> `Error "cycle must be V, W or F" |> fun _ -> exit 2
+  in
+  let n1, n2, n3 =
+    match String.split_on_char ',' smoothing with
+    | [ a; b; c ] -> (int_of_string a, int_of_string b, int_of_string c)
+    | _ ->
+      prerr_endline "smoothing must be n1,n2,n3";
+      exit 2
+  in
+  let cfg =
+    { (Cycle.default ~dims ~shape ~smoothing:(n1, n2, n3)) with
+      Cycle.levels }
+  in
+  let n =
+    match n with
+    | Some n -> n
+    | None -> Cycle.min_n cfg * 8
+  in
+  if n mod (1 lsl (levels - 1)) <> 0 then begin
+    Printf.eprintf "N=%d must be divisible by 2^(levels-1)=%d\n" n
+      (1 lsl (levels - 1));
+    exit 2
+  end;
+  let problem = Problem.poisson ~dims ~n in
+  let rt = Exec.runtime ~domains () in
+  let stepper =
+    match variant with
+    | "handopt" -> Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())
+    | "handopt+pluto" ->
+      Handopt.stepper
+        (Handopt.create cfg ~n ~par:rt.Exec.par
+           ~smoothing:(Handopt.Pluto { sigma = 16 })
+           ())
+    | v -> (
+      match Options.variant_of_string v with
+      | Some opts ->
+        if verbose then begin
+          let p = Cycle.build cfg in
+          let plan = Plan.build p ~opts ~n ~params:(Cycle.params cfg ~n) in
+          Format.printf "%a@." Plan.summary plan
+        end;
+        Solver.polymg_stepper cfg ~n ~opts ~rt
+      | None ->
+        Printf.eprintf
+          "unknown variant %s (naive|opt|opt+|dtile-opt+|handopt|handopt+pluto)\n"
+          v;
+        exit 2)
+  in
+  Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d\n"
+    (Cycle.bench_name cfg) n levels variant domains;
+  let r = Solver.iterate stepper ~problem ~cycles () in
+  List.iter
+    (fun (s : Solver.cycle_stats) ->
+      Printf.printf "  cycle %2d: residual %.6e  (%.4fs)\n" s.Solver.cycle
+        s.Solver.residual s.Solver.seconds)
+    r.Solver.stats;
+  let err = Verify.error_l2 ~v:r.Solver.v ~exact:problem.Problem.exact in
+  Printf.printf "total %.4fs; error vs continuous solution: %.6e\n"
+    r.Solver.total_seconds err;
+  Exec.free_runtime rt
+
+let dims_t =
+  Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank (2 or 3).")
+
+let cycle_t =
+  Arg.(value & opt string "V" & info [ "cycle" ] ~doc:"Cycle shape: V, W or F.")
+
+let smoothing_t =
+  Arg.(
+    value & opt string "4,4,4"
+    & info [ "smoothing" ] ~doc:"Smoothing steps n1,n2,n3 (pre,coarse,post).")
+
+let levels_t =
+  Arg.(value & opt int 4 & info [ "levels" ] ~doc:"Multigrid levels.")
+
+let n_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "n"; "size" ] ~doc:"Problem size parameter N (interior is N-1).")
+
+let variant_t =
+  Arg.(
+    value & opt string "opt+"
+    & info [ "variant" ]
+        ~doc:"naive | opt | opt+ | dtile-opt+ | handopt | handopt+pluto.")
+
+let cycles_t =
+  Arg.(value & opt int 5 & info [ "cycles" ] ~doc:"Multigrid cycles to run.")
+
+let domains_t =
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Worker domains.")
+
+let verbose_t =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Print the optimized plan.")
+
+let cmd =
+  let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
+  Cmd.v
+    (Cmd.info "mg_solve" ~doc)
+    Term.(
+      const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
+      $ cycles_t $ domains_t $ verbose_t)
+
+let () = exit (Cmd.eval cmd)

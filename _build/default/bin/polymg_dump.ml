@@ -1,0 +1,71 @@
+(* Compiler introspection: prints the pipeline DAG, the grouping and
+   storage mapping (the Fig. 6 dump), or the generated C (Fig. 8).
+
+   Examples:
+     polymg_dump --what dag
+     polymg_dump --what groups --variant opt+ --smoothing 4,4,4
+     polymg_dump --what c --dims 2 --cycle V > vcycle.c *)
+
+open Cmdliner
+open Repro_mg
+open Repro_core
+
+let run dims cycle smoothing levels n variant what =
+  let shape =
+    match String.uppercase_ascii cycle with
+    | "V" -> Cycle.V
+    | "W" -> Cycle.W
+    | "F" -> Cycle.F
+    | _ -> prerr_endline "cycle must be V, W or F"; exit 2
+  in
+  let n1, n2, n3 =
+    match String.split_on_char ',' smoothing with
+    | [ a; b; c ] -> (int_of_string a, int_of_string b, int_of_string c)
+    | _ -> prerr_endline "smoothing must be n1,n2,n3"; exit 2
+  in
+  let cfg =
+    { (Cycle.default ~dims ~shape ~smoothing:(n1, n2, n3)) with
+      Cycle.levels }
+  in
+  let pipeline = Cycle.build cfg in
+  let opts =
+    match Options.variant_of_string variant with
+    | Some o -> o
+    | None -> prerr_endline ("unknown variant " ^ variant); exit 2
+  in
+  match what with
+  | "dag" -> Format.printf "%a@." Repro_ir.Pipeline.pp pipeline
+  | "groups" ->
+    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+    Format.printf "%a@." Plan.summary plan
+  | "c" ->
+    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+    print_string (C_emit.to_string plan)
+  | _ -> prerr_endline "what must be dag, groups or c"; exit 2
+
+let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
+let cycle_t = Arg.(value & opt string "V" & info [ "cycle" ] ~doc:"V, W or F.")
+
+let smoothing_t =
+  Arg.(value & opt string "4,4,4" & info [ "smoothing" ] ~doc:"n1,n2,n3.")
+
+let levels_t = Arg.(value & opt int 4 & info [ "levels" ] ~doc:"Levels.")
+let n_t = Arg.(value & opt int 64 & info [ "n"; "size" ] ~doc:"Problem size N.")
+
+let variant_t =
+  Arg.(value & opt string "opt+" & info [ "variant" ] ~doc:"Optimizer preset.")
+
+let what_t =
+  Arg.(
+    value & opt string "groups"
+    & info [ "what" ] ~doc:"What to print: dag, groups, or c.")
+
+let cmd =
+  let doc = "inspect PolyMG pipelines, groupings and generated code" in
+  Cmd.v
+    (Cmd.info "polymg_dump" ~doc)
+    Term.(
+      const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
+      $ what_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/custom_cycle.ml: Array Dsl Exec Expr Func List Options Pipeline Plan Printf Repro_core Repro_grid Repro_ir Repro_mg Sizeexpr Weights

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Dsl Exec Expr Func Options Pipeline Plan Printf Repro_core Repro_grid Repro_ir Sizeexpr Weights

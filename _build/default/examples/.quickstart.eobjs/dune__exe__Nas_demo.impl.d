@@ -1,0 +1,1 @@
+examples/nas_demo.ml: Exec Nas_coeffs Nas_pipeline Nas_problem Nas_ref Options Printf Problem Repro_core Repro_grid Repro_mg Repro_nas Solver

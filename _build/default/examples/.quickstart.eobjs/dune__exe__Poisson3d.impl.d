@@ -1,0 +1,1 @@
+examples/poisson3d.ml: Cycle Exec List Options Plan Printf Problem Repro_core Repro_ir Repro_mg Solver

@@ -1,0 +1,1 @@
+examples/preconditioner.ml: Cycle Exec Krylov List Options Printf Problem Repro_core Repro_mg Verify

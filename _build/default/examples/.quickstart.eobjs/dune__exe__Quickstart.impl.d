@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cycle List Options Printf Problem Repro_core Repro_mg Solver Verify

@@ -1,0 +1,1 @@
+examples/varcoef.ml: Array Dsl Exec Expr Float Func Options Plan Printf Random Repro_core Repro_grid Repro_ir Sizeexpr

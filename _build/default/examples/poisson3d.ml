@@ -1,0 +1,43 @@
+(* 3-D Poisson with a W-cycle, comparing optimizer variants.
+
+   Run with:  dune exec examples/poisson3d.exe
+
+   Demonstrates: building the pipeline once, inspecting the optimized plan,
+   and swapping optimizer presets over the same problem. *)
+
+open Repro_mg
+open Repro_core
+
+let () =
+  let cfg = Cycle.default ~dims:3 ~shape:Cycle.W ~smoothing:(2, 2, 2) in
+  let n = 64 in
+  let problem = Problem.poisson ~dims:3 ~n in
+
+  (* what did the optimizer decide? *)
+  let pipeline = Cycle.build cfg in
+  let plan =
+    Plan.build pipeline ~opts:Options.opt_plus ~n
+      ~params:(Cycle.params cfg ~n)
+  in
+  Printf.printf
+    "%s: %d stages fused into %d groups; %d full arrays (%.1f MB), \
+     %.1f KB scratch per thread\n\n"
+    (Cycle.bench_name cfg)
+    (Repro_ir.Pipeline.stage_count pipeline)
+    (Plan.group_count plan) (Plan.array_count plan)
+    (float_of_int (Plan.total_array_bytes plan) /. 1e6)
+    (float_of_int (Plan.scratch_bytes_per_thread plan) /. 1e3);
+
+  List.iter
+    (fun (name, opts) ->
+      let rt = Exec.runtime () in
+      let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+      let r = Solver.iterate stepper ~problem ~cycles:4 () in
+      Exec.free_runtime rt;
+      let final = List.nth r.Solver.stats 3 in
+      Printf.printf "%-12s final residual %.3e, %.3fs total\n" name
+        final.Solver.residual r.Solver.total_seconds)
+    [ ("naive", Options.naive);
+      ("opt", Options.opt);
+      ("opt+", Options.opt_plus);
+      ("dtile-opt+", Options.dtile_opt_plus) ]

@@ -1,0 +1,113 @@
+(* Variable-coefficient diffusion: −∇·(k∇u) = f with a discontinuous
+   coefficient field, expressed in the DSL with the coefficient as a
+   second input grid.
+
+   Run with:  dune exec examples/varcoef.exe
+
+   Stages whose definitions multiply two loaded grids are not linear
+   stencils, so the compiler's linear fast path does not apply — they run
+   through the general expression interpreter instead (the same fallback
+   that handles min/max/abs).  Grouping, tiling and storage reuse still
+   apply unchanged; this example checks that the optimized plan matches
+   the naive one bit-for-bit and that smoothing converges. *)
+
+open Repro_ir
+open Repro_core
+module Grid = Repro_grid.Grid
+
+let () =
+  let n = 128 in
+  let sizes = [| Sizeexpr.add_const Sizeexpr.n (-1);
+                 Sizeexpr.add_const Sizeexpr.n (-1) |] in
+  let zero = [| 0; 0 |] in
+
+  let ctx = Dsl.create "varcoef" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes in
+  let f = Dsl.grid ctx "F" ~dims:2 ~sizes in
+  let k = Dsl.grid ctx "K" ~dims:2 ~sizes in
+
+  (* A v at x: Σ_faces k_face · (v(x) − v(nbr)), with face coefficients
+     averaged from the cell coefficient field *)
+  let face_k o =
+    Expr.(
+      const 0.5 * (load k.Func.id zero + load k.Func.id o))
+  in
+  let a_v vf =
+    let term o =
+      Expr.(face_k o * (load vf.Func.id zero - load vf.Func.id o))
+    in
+    Expr.(
+      term [| -1; 0 |] + term [| 1; 0 |] + term [| 0; -1 |] + term [| 0; 1 |])
+  in
+  let diag =
+    Expr.(
+      face_k [| -1; 0 |] + face_k [| 1; 0 |] + face_k [| 0; -1 |]
+      + face_k [| 0; 1 |])
+  in
+  (* damped Jacobi: v' = v + ω (f/h⁻² − A v)/diag *)
+  let body ~v:iter =
+    Expr.(
+      load iter.Func.id zero
+      + (const 0.7
+         * ((load f.Func.id zero / param "invhsq") - a_v iter)
+         / diag))
+  in
+  let smoothed = Dsl.tstencil ctx ~name:"S" ~steps:40 ~init:v body in
+  let pipeline = Dsl.finish ctx ~outputs:[ smoothed ] in
+
+  let params = function
+    | "invhsq" -> float_of_int (n * n)
+    | s -> invalid_arg s
+  in
+  (* coefficient field: a stiff inclusion in the middle *)
+  let kgrid = Grid.interior ~dims:2 (n - 1) in
+  Grid.fill_all kgrid ~f:(fun idx ->
+      let c = n / 2 in
+      let dx = idx.(0) - c and dy = idx.(1) - c in
+      if (dx * dx) + (dy * dy) < n * n / 32 then 100.0 else 1.0);
+  let vg = Grid.interior ~dims:2 (n - 1) in
+  let fg = Grid.interior ~dims:2 (n - 1) in
+  (* a high-frequency right-hand side: smoothing is exactly the multigrid
+     component that damps it (a smooth rhs would barely move in 40 sweeps —
+     that is why coarse grids exist) *)
+  let st = Random.State.make [| 7 |] in
+  Grid.fill_interior fg ~f:(fun _ -> Random.State.float st 2.0 -. 1.0);
+
+  let residual_linf (u : Grid.t) =
+    (* diagonally scaled residual ‖D⁻¹(f − h⁻²·A u)‖∞ — the natural units
+       for a problem with a 100:1 coefficient jump *)
+    let m = ref 0.0 in
+    let invhsq = float_of_int (n * n) in
+    let kk i j = Grid.get2 kgrid i j in
+    for i = 1 to n - 1 do
+      for j = 1 to n - 1 do
+        let fk di dj = 0.5 *. (kk i j +. kk (i + di) (j + dj)) in
+        let term di dj =
+          fk di dj *. (Grid.get2 u i j -. Grid.get2 u (i + di) (j + dj))
+        in
+        let av = term (-1) 0 +. term 1 0 +. term 0 (-1) +. term 0 1 in
+        let d = fk (-1) 0 +. fk 1 0 +. fk 0 (-1) +. fk 0 1 in
+        let r = (Grid.get2 fg i j -. (invhsq *. av)) /. (invhsq *. d) in
+        if Float.abs r > !m then m := Float.abs r
+      done
+    done;
+    !m
+  in
+
+  let run opts =
+    let plan = Plan.build pipeline ~opts ~n ~params in
+    let out = Grid.interior ~dims:2 (n - 1) in
+    let rt = Exec.runtime () in
+    Exec.run plan rt
+      ~inputs:[ (v.Func.id, vg); (f.Func.id, fg); (k.Func.id, kgrid) ]
+      ~outputs:[ (smoothed.Func.id, out) ];
+    Exec.free_runtime rt;
+    out
+  in
+  Printf.printf "variable-coefficient diffusion, N=%d, 40 damped-Jacobi sweeps\n" n;
+  Printf.printf "  initial residual (zero guess): %.4e\n" (residual_linf vg);
+  let o_naive = run Options.naive in
+  Printf.printf "  after smoothing:               %.4e\n" (residual_linf o_naive);
+  let o_opt = run Options.opt_plus in
+  Printf.printf "  |naive − opt+| = %.3e (general-path stages fused and tiled)\n"
+    (Grid.max_abs_diff o_naive o_opt)

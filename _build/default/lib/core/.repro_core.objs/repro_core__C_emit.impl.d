@@ -1,0 +1,1 @@
+lib/core/c_emit.ml: Array Box Compile Expr Format Func Int List Options Pipeline Plan Printf Regions Repro_ir Repro_poly Sizeexpr String

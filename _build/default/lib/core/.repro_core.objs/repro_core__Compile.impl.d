@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Bigarray Box Expr Float Fun Func Hashtbl Int List Option Repro_grid Repro_ir Repro_poly Walks

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Repro_grid Repro_ir Repro_poly

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Bigarray Box Compile Diamond Domain Func Hashtbl List Option Options Pipeline Plan Printf Regions Repro_grid Repro_ir Repro_poly Repro_runtime Sizeexpr Skewed

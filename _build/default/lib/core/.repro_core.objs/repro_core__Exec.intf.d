@@ -1,0 +1,1 @@
+lib/core/exec.mli: Plan Repro_grid Repro_runtime

@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Array Fun Func Hashtbl Int List Options Pipeline Queue Regions Repro_ir Repro_poly

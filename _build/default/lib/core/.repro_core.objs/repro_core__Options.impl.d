@@ -1,0 +1,1 @@
+lib/core/options.ml: Array Format Printf String

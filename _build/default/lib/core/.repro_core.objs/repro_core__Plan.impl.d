@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Atomic Box Compile Format Func Grouping Hashtbl Int List Option Options Pipeline Printf Regions Repro_ir Repro_poly Sizeexpr Storage String

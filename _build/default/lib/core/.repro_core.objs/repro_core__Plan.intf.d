@@ -1,0 +1,1 @@
+lib/core/plan.mli: Compile Format Options Repro_ir Repro_poly

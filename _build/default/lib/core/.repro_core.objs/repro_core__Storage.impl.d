@@ -1,0 +1,1 @@
+lib/core/storage.ml: Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/core/walks.ml: Array Bigarray Repro_grid

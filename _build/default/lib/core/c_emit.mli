@@ -1,0 +1,17 @@
+(** C code emission from plans.
+
+    PolyMG generates C+OpenMP; this engine executes plans directly
+    instead, but the correspondence is kept inspectable: [emit] prints,
+    for any plan, the C the paper's backend would produce — pooled
+    full-array allocations, [#pragma omp parallel for collapse(d)] tile
+    loops, per-thread scratchpad declarations with their user lists, and
+    the per-stage loop nests with min/max-clamped overlapped-tile bounds
+    (the shape of Fig. 8).  Used for the generated-lines-of-code column of
+    Table 3 and by [polymg_dump]. *)
+
+val emit : Format.formatter -> Plan.t -> unit
+
+val to_string : Plan.t -> string
+
+val line_count : Plan.t -> int
+(** Lines of the emitted C — Table 3's "Lines of gen. code". *)

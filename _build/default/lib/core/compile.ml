@@ -1,0 +1,845 @@
+open Repro_ir
+open Repro_poly
+module Buf = Repro_grid.Buf
+
+type source = { data : Buf.data; strides : int array; org : int array }
+
+let source_index src coords =
+  let acc = ref 0 in
+  Array.iteri
+    (fun k s -> acc := !acc + ((coords.(k) - src.org.(k)) * s))
+    src.strides;
+  !acc
+
+type term = { coef : float; pos : int; accs : Expr.access array }
+
+type case_kernel =
+  | Lin of { base : float; terms : term array }
+  | Gen of (source array -> int array -> float)
+
+type case_t = {
+  parity : int array option;
+  kernel : case_kernel;
+}
+
+type t = {
+  func : Func.t;
+  producers : int array;
+  boundary : float;
+  cases : case_t list;
+  run :
+    srcs:source array -> dst:source -> interior:Box.t -> region:Box.t -> unit;
+}
+
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let apply_access (a : Expr.access) x = fdiv ((a.mul * x) + a.add) a.den + a.off
+
+(* ------------------------------------------------------------------ *)
+(* Linearization                                                       *)
+
+let linearize e ~params =
+  (* terms as (func id, accesses) -> coef, plus a constant *)
+  let exception Nonlinear in
+  let rec go e =
+    (* returns (constant, term list) *)
+    match e with
+    | Expr.Const c -> (c, [])
+    | Expr.Param s -> (params s, [])
+    | Expr.Coord _ -> raise Nonlinear
+    | Expr.Load (f, a) -> (0.0, [ (1.0, f, a) ])
+    | Expr.Unop (Neg, x) ->
+      let c, ts = go x in
+      (-.c, List.map (fun (w, f, a) -> (-.w, f, a)) ts)
+    | Expr.Unop ((Abs | Sqrt), _) -> raise Nonlinear
+    | Expr.Binop (Add, x, y) ->
+      let cx, tx = go x and cy, ty = go y in
+      (cx +. cy, tx @ ty)
+    | Expr.Binop (Sub, x, y) ->
+      let cx, tx = go x and cy, ty = go y in
+      (cx -. cy, tx @ List.map (fun (w, f, a) -> (-.w, f, a)) ty)
+    | Expr.Binop (Mul, x, y) -> (
+      let cx, tx = go x and cy, ty = go y in
+      match (tx, ty) with
+      | [], _ -> (cx *. cy, List.map (fun (w, f, a) -> (cx *. w, f, a)) ty)
+      | _, [] -> (cx *. cy, List.map (fun (w, f, a) -> (cy *. w, f, a)) tx)
+      | _ -> raise Nonlinear)
+    | Expr.Binop (Div, x, y) -> (
+      let cx, tx = go x and cy, ty = go y in
+      match ty with
+      | [] ->
+        if cy = 0.0 then raise Nonlinear
+        else (cx /. cy, List.map (fun (w, f, a) -> (w /. cy, f, a)) tx)
+      | _ -> raise Nonlinear)
+    | Expr.Binop ((Min | Max), _, _) -> raise Nonlinear
+  in
+  match go e with
+  | c, terms ->
+    (* merge duplicate (func, access) terms *)
+    let merged = ref [] in
+    List.iter
+      (fun (w, f, a) ->
+        match
+          List.find_opt (fun (_, f', a') -> f = f' && a = a') !merged
+        with
+        | Some (w', _, _) ->
+          merged :=
+            List.map
+              (fun (w0, f0, a0) ->
+                if f0 = f && a0 = a then (w0 +. w, f0, a0) else (w0, f0, a0))
+              !merged;
+          ignore w'
+        | None -> merged := !merged @ [ (w, f, a) ])
+      terms;
+    Some (c, !merged)
+  | exception Nonlinear -> None
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter                                               *)
+
+let rec eval_expr e ~params ~lookup coords =
+  match e with
+  | Expr.Const c -> c
+  | Expr.Param s -> params s
+  | Expr.Coord k -> float_of_int coords.(k)
+  | Expr.Load (f, accs) ->
+    let d = Array.length accs in
+    let pc = Array.make d 0 in
+    for k = 0 to d - 1 do
+      pc.(k) <- apply_access accs.(k) coords.(k)
+    done;
+    lookup f pc
+  | Expr.Unop (Neg, x) -> -.eval_expr x ~params ~lookup coords
+  | Expr.Unop (Abs, x) -> Float.abs (eval_expr x ~params ~lookup coords)
+  | Expr.Unop (Sqrt, x) -> sqrt (eval_expr x ~params ~lookup coords)
+  | Expr.Binop (op, x, y) ->
+    let a = eval_expr x ~params ~lookup coords
+    and b = eval_expr y ~params ~lookup coords in
+    (match op with
+     | Add -> a +. b
+     | Sub -> a -. b
+     | Mul -> a *. b
+     | Div -> a /. b
+     | Min -> Float.min a b
+     | Max -> Float.max a b)
+
+(* ------------------------------------------------------------------ *)
+(* Region iteration helpers                                            *)
+
+(* First x >= lo with x ≡ p (mod m). *)
+let align_lo lo p m = lo + (((p - lo) mod m) + m) mod m
+
+let fill_box (dst : source) (b : Box.t) v =
+  if not (Box.is_empty b) then begin
+    let d = Box.rank b in
+    match d with
+    | 2 ->
+      for i = b.Box.lo.(0) to b.Box.hi.(0) do
+        let base =
+          ((i - dst.org.(0)) * dst.strides.(0))
+          + ((b.Box.lo.(1) - dst.org.(1)) * dst.strides.(1))
+        in
+        let s = dst.strides.(1) in
+        for c = 0 to b.Box.hi.(1) - b.Box.lo.(1) do
+          Bigarray.Array1.unsafe_set dst.data (base + (c * s)) v
+        done
+      done
+    | 3 ->
+      for i = b.Box.lo.(0) to b.Box.hi.(0) do
+        for j = b.Box.lo.(1) to b.Box.hi.(1) do
+          let base =
+            ((i - dst.org.(0)) * dst.strides.(0))
+            + ((j - dst.org.(1)) * dst.strides.(1))
+            + ((b.Box.lo.(2) - dst.org.(2)) * dst.strides.(2))
+          in
+          let s = dst.strides.(2) in
+          for c = 0 to b.Box.hi.(2) - b.Box.lo.(2) do
+            Bigarray.Array1.unsafe_set dst.data (base + (c * s)) v
+          done
+        done
+      done
+    | _ ->
+      let idx = Array.copy b.Box.lo in
+      let rec go k =
+        if k = d then
+          Bigarray.Array1.unsafe_set dst.data (source_index dst idx) v
+        else
+          for x = b.Box.lo.(k) to b.Box.hi.(k) do
+            idx.(k) <- x;
+            go (k + 1)
+          done
+      in
+      go 0
+  end
+
+(* Fill region \ interior with the boundary value: peel one slab per face. *)
+let fill_rim dst ~region ~interior v =
+  let d = Box.rank region in
+  let cur = ref region in
+  for k = 0 to d - 1 do
+    let c = !cur in
+    if not (Box.is_empty c) then begin
+      let ilo = interior.Box.lo.(k) and ihi = interior.Box.hi.(k) in
+      if c.Box.lo.(k) < ilo then begin
+        let hi = Array.copy c.Box.hi in
+        hi.(k) <- Int.min c.Box.hi.(k) (ilo - 1);
+        fill_box dst (Box.v ~lo:c.Box.lo ~hi) v
+      end;
+      if c.Box.hi.(k) > ihi then begin
+        let lo = Array.copy c.Box.lo in
+        lo.(k) <- Int.max c.Box.lo.(k) (ihi + 1);
+        fill_box dst (Box.v ~lo ~hi:c.Box.hi) v
+      end;
+      let lo = Array.copy c.Box.lo and hi = Array.copy c.Box.hi in
+      lo.(k) <- Int.max lo.(k) ilo;
+      hi.(k) <- Int.min hi.(k) ihi;
+      cur := Box.v ~lo ~hi
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Linear-stencil execution                                            *)
+
+(* A linear case is executable by affine index walks iff every access
+   division is exact on the case's parity lattice. *)
+let case_is_affine ~parity terms =
+  Array.for_all
+    (fun t ->
+      Array.for_all
+        (fun k ->
+          let a = t.accs.(k) in
+          match a.Expr.den with
+          | 1 -> true
+          | 2 -> (
+            match parity with
+            | None -> false
+            | Some p -> ((a.Expr.mul * p.(k)) + a.Expr.add) mod 2 = 0)
+          | _ -> false)
+        (Array.init (Array.length t.accs) Fun.id))
+    terms
+
+(* Innermost-dimension walks, specialized on the term count so that
+   coefficients, buffers and cursors live in registers.  [start.(t)] is
+   term [t]'s buffer index at the first point; [step.(t)] its per-point
+   increment.  The destination walks from [didx0] by [dstep]. *)
+
+let inner_generic ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data
+    ~start ~step =
+  let nt = Array.length coef in
+  let cur = Array.copy start in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    let acc = ref base in
+    for t = 0 to nt - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get coef t
+            *. Bigarray.Array1.unsafe_get (Array.unsafe_get data t)
+                 (Array.unsafe_get cur t));
+      Array.unsafe_set cur t (Array.unsafe_get cur t + Array.unsafe_get step t)
+    done;
+    Bigarray.Array1.unsafe_set dst !di !acc;
+    di := !di + dstep
+  done
+
+let inner1 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data ~start ~step =
+  let c0 = Array.unsafe_get coef 0 in
+  let d0 : Buf.data = Array.unsafe_get data 0 in
+  let s0 = Array.unsafe_get step 0 in
+  let i0 = ref (Array.unsafe_get start 0) in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base +. (c0 *. Bigarray.Array1.unsafe_get d0 !i0));
+    i0 := !i0 + s0;
+    di := !di + dstep
+  done
+
+let inner2 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data ~start ~step =
+  let c0 = Array.unsafe_get coef 0 and c1 = Array.unsafe_get coef 1 in
+  let d0 : Buf.data = Array.unsafe_get data 0 in
+  let d1 : Buf.data = Array.unsafe_get data 1 in
+  let s0 = Array.unsafe_get step 0 and s1 = Array.unsafe_get step 1 in
+  let i0 = ref (Array.unsafe_get start 0) in
+  let i1 = ref (Array.unsafe_get start 1) in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get d0 !i0)
+       +. (c1 *. Bigarray.Array1.unsafe_get d1 !i1));
+    i0 := !i0 + s0;
+    i1 := !i1 + s1;
+    di := !di + dstep
+  done
+
+let inner3 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data ~start ~step =
+  let c0 = Array.unsafe_get coef 0
+  and c1 = Array.unsafe_get coef 1
+  and c2 = Array.unsafe_get coef 2 in
+  let d0 : Buf.data = Array.unsafe_get data 0 in
+  let d1 : Buf.data = Array.unsafe_get data 1 in
+  let d2 : Buf.data = Array.unsafe_get data 2 in
+  let s0 = Array.unsafe_get step 0
+  and s1 = Array.unsafe_get step 1
+  and s2 = Array.unsafe_get step 2 in
+  let i0 = ref (Array.unsafe_get start 0) in
+  let i1 = ref (Array.unsafe_get start 1) in
+  let i2 = ref (Array.unsafe_get start 2) in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get d0 !i0)
+       +. (c1 *. Bigarray.Array1.unsafe_get d1 !i1)
+       +. (c2 *. Bigarray.Array1.unsafe_get d2 !i2));
+    i0 := !i0 + s0;
+    i1 := !i1 + s1;
+    i2 := !i2 + s2;
+    di := !di + dstep
+  done
+
+let inner4 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data ~start ~step =
+  let c0 = Array.unsafe_get coef 0
+  and c1 = Array.unsafe_get coef 1
+  and c2 = Array.unsafe_get coef 2
+  and c3 = Array.unsafe_get coef 3 in
+  let d0 : Buf.data = Array.unsafe_get data 0 in
+  let d1 : Buf.data = Array.unsafe_get data 1 in
+  let d2 : Buf.data = Array.unsafe_get data 2 in
+  let d3 : Buf.data = Array.unsafe_get data 3 in
+  let s0 = Array.unsafe_get step 0
+  and s1 = Array.unsafe_get step 1
+  and s2 = Array.unsafe_get step 2
+  and s3 = Array.unsafe_get step 3 in
+  let i0 = ref (Array.unsafe_get start 0) in
+  let i1 = ref (Array.unsafe_get start 1) in
+  let i2 = ref (Array.unsafe_get start 2) in
+  let i3 = ref (Array.unsafe_get start 3) in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get d0 !i0)
+       +. (c1 *. Bigarray.Array1.unsafe_get d1 !i1)
+       +. (c2 *. Bigarray.Array1.unsafe_get d2 !i2)
+       +. (c3 *. Bigarray.Array1.unsafe_get d3 !i3));
+    i0 := !i0 + s0;
+    i1 := !i1 + s1;
+    i2 := !i2 + s2;
+    i3 := !i3 + s3;
+    di := !di + dstep
+  done
+
+let inner6 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data ~start ~step =
+  let c0 = Array.unsafe_get coef 0
+  and c1 = Array.unsafe_get coef 1
+  and c2 = Array.unsafe_get coef 2
+  and c3 = Array.unsafe_get coef 3
+  and c4 = Array.unsafe_get coef 4
+  and c5 = Array.unsafe_get coef 5 in
+  let d0 : Buf.data = Array.unsafe_get data 0 in
+  let d1 : Buf.data = Array.unsafe_get data 1 in
+  let d2 : Buf.data = Array.unsafe_get data 2 in
+  let d3 : Buf.data = Array.unsafe_get data 3 in
+  let d4 : Buf.data = Array.unsafe_get data 4 in
+  let d5 : Buf.data = Array.unsafe_get data 5 in
+  let s0 = Array.unsafe_get step 0
+  and s1 = Array.unsafe_get step 1
+  and s2 = Array.unsafe_get step 2
+  and s3 = Array.unsafe_get step 3
+  and s4 = Array.unsafe_get step 4
+  and s5 = Array.unsafe_get step 5 in
+  let i0 = ref (Array.unsafe_get start 0) in
+  let i1 = ref (Array.unsafe_get start 1) in
+  let i2 = ref (Array.unsafe_get start 2) in
+  let i3 = ref (Array.unsafe_get start 3) in
+  let i4 = ref (Array.unsafe_get start 4) in
+  let i5 = ref (Array.unsafe_get start 5) in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get d0 !i0)
+       +. (c1 *. Bigarray.Array1.unsafe_get d1 !i1)
+       +. (c2 *. Bigarray.Array1.unsafe_get d2 !i2)
+       +. (c3 *. Bigarray.Array1.unsafe_get d3 !i3)
+       +. (c4 *. Bigarray.Array1.unsafe_get d4 !i4)
+       +. (c5 *. Bigarray.Array1.unsafe_get d5 !i5));
+    i0 := !i0 + s0;
+    i1 := !i1 + s1;
+    i2 := !i2 + s2;
+    i3 := !i3 + s3;
+    i4 := !i4 + s4;
+    i5 := !i5 + s5;
+    di := !di + dstep
+  done
+
+let inner8 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~coef ~data ~start ~step =
+  let c0 = Array.unsafe_get coef 0
+  and c1 = Array.unsafe_get coef 1
+  and c2 = Array.unsafe_get coef 2
+  and c3 = Array.unsafe_get coef 3
+  and c4 = Array.unsafe_get coef 4
+  and c5 = Array.unsafe_get coef 5
+  and c6 = Array.unsafe_get coef 6
+  and c7 = Array.unsafe_get coef 7 in
+  let d0 : Buf.data = Array.unsafe_get data 0 in
+  let d1 : Buf.data = Array.unsafe_get data 1 in
+  let d2 : Buf.data = Array.unsafe_get data 2 in
+  let d3 : Buf.data = Array.unsafe_get data 3 in
+  let d4 : Buf.data = Array.unsafe_get data 4 in
+  let d5 : Buf.data = Array.unsafe_get data 5 in
+  let d6 : Buf.data = Array.unsafe_get data 6 in
+  let d7 : Buf.data = Array.unsafe_get data 7 in
+  let s0 = Array.unsafe_get step 0
+  and s1 = Array.unsafe_get step 1
+  and s2 = Array.unsafe_get step 2
+  and s3 = Array.unsafe_get step 3
+  and s4 = Array.unsafe_get step 4
+  and s5 = Array.unsafe_get step 5
+  and s6 = Array.unsafe_get step 6
+  and s7 = Array.unsafe_get step 7 in
+  let i0 = ref (Array.unsafe_get start 0) in
+  let i1 = ref (Array.unsafe_get start 1) in
+  let i2 = ref (Array.unsafe_get start 2) in
+  let i3 = ref (Array.unsafe_get start 3) in
+  let i4 = ref (Array.unsafe_get start 4) in
+  let i5 = ref (Array.unsafe_get start 5) in
+  let i6 = ref (Array.unsafe_get start 6) in
+  let i7 = ref (Array.unsafe_get start 7) in
+  let di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get d0 !i0)
+       +. (c1 *. Bigarray.Array1.unsafe_get d1 !i1)
+       +. (c2 *. Bigarray.Array1.unsafe_get d2 !i2)
+       +. (c3 *. Bigarray.Array1.unsafe_get d3 !i3)
+       +. (c4 *. Bigarray.Array1.unsafe_get d4 !i4)
+       +. (c5 *. Bigarray.Array1.unsafe_get d5 !i5)
+       +. (c6 *. Bigarray.Array1.unsafe_get d6 !i6)
+       +. (c7 *. Bigarray.Array1.unsafe_get d7 !i7));
+    i0 := !i0 + s0;
+    i1 := !i1 + s1;
+    i2 := !i2 + s2;
+    i3 := !i3 + s3;
+    i4 := !i4 + s4;
+    i5 := !i5 + s5;
+    i6 := !i6 + s6;
+    i7 := !i7 + s7;
+    di := !di + dstep
+  done
+
+let inner_for nt =
+  match nt with
+  | 1 -> inner1
+  | 2 -> inner2
+  | 3 -> inner3
+  | 4 -> inner4
+  | 5 | 6 -> inner6  (* padded to 6 by the caller *)
+  | 7 | 8 -> inner8  (* padded to 8 by the caller *)
+  | _ -> inner_generic
+
+(* Pad term metadata so a padded specialization reads harmless data:
+   coefficient 0 on the first buffer at index 0 with step 0. *)
+let padded_size nt =
+  match nt with 5 -> 6 | 7 -> 8 | _ -> nt
+
+(* Iterate the outer dimensions; fill [cur] with each term's buffer index
+   at the row start and hand the destination row index to [run_row]. *)
+let iterate_rows ~d ~counts ~np ~(tbase : int array) ~tstep ~dbase ~dstep
+    ~(cur : int array) ~run_row =
+  match d with
+  | 1 ->
+    Array.blit tbase 0 cur 0 np;
+    run_row dbase
+  | 2 ->
+    for r = 0 to counts.(0) - 1 do
+      for t = 0 to np - 1 do
+        cur.(t) <- tbase.(t) + (r * tstep.(t).(0))
+      done;
+      run_row (dbase + (r * dstep.(0)))
+    done
+  | 3 ->
+    for q = 0 to counts.(0) - 1 do
+      for r = 0 to counts.(1) - 1 do
+        for t = 0 to np - 1 do
+          cur.(t) <- tbase.(t) + (q * tstep.(t).(0)) + (r * tstep.(t).(1))
+        done;
+        run_row (dbase + (q * dstep.(0)) + (r * dstep.(1)))
+      done
+    done
+  | _ ->
+    let total_outer = ref 1 in
+    for k = 0 to d - 2 do
+      total_outer := !total_outer * counts.(k)
+    done;
+    for flat = 0 to !total_outer - 1 do
+      let rem = ref flat in
+      let didx = ref dbase in
+      for t = 0 to np - 1 do
+        cur.(t) <- tbase.(t)
+      done;
+      for k = d - 2 downto 0 do
+        let r = !rem mod counts.(k) in
+        rem := !rem / counts.(k);
+        didx := !didx + (r * dstep.(k));
+        for t = 0 to np - 1 do
+          cur.(t) <- cur.(t) + (r * tstep.(t).(k))
+        done
+      done;
+      run_row !didx
+    done
+
+let run_lin_terms ~specialize ~(srcs : source array) ~(dst : source) ~box ~d
+    ~m ~start ~counts ~base ~(terms : term array) =
+  ignore box;
+  let nt = Array.length terms in
+  let np = padded_size nt in
+  (* index of term t at the lattice origin, and per-dim lattice steps *)
+  let tstep = Array.make_matrix np d 0 in
+  let tbase = Array.make np 0 in
+  let coef = Array.make np 0.0 in
+  let data = Array.make np srcs.(terms.(0).pos).data in
+  for t = 0 to nt - 1 do
+    let src = srcs.(terms.(t).pos) in
+    let b = ref 0 in
+    for k = 0 to d - 1 do
+      let a = terms.(t).accs.(k) in
+      b := !b + ((apply_access a start.(k) - src.org.(k)) * src.strides.(k));
+      tstep.(t).(k) <- a.Expr.mul * m / a.Expr.den * src.strides.(k)
+    done;
+    tbase.(t) <- !b;
+    coef.(t) <- terms.(t).coef;
+    data.(t) <- src.data
+  done;
+  let dstep = Array.init d (fun k -> m * dst.strides.(k)) in
+  let dbase = ref 0 in
+  for k = 0 to d - 1 do
+    dbase := !dbase + ((start.(k) - dst.org.(k)) * dst.strides.(k))
+  done;
+  let n1 = counts.(d - 1) in
+  let inner_dstep = dstep.(d - 1) in
+  let step = Array.init np (fun t -> tstep.(t).(d - 1)) in
+  let cur = Array.make np 0 in
+  (* Walk detection: the largest set of terms sharing one buffer and one
+     inner-dimension step becomes the main walk (one cursor, constant
+     deltas — the register shape of the generated C); at most one further
+     term rides along as an auxiliary stream.  Anything else falls back to
+     the per-term-cursor kernels. *)
+  let main_idx =
+    if nt = 0 || not specialize then [||]
+    else begin
+      let best = ref [||] in
+      for t = 0 to nt - 1 do
+        let group = ref [] in
+        for u = nt - 1 downto 0 do
+          if data.(u) == data.(t) && step.(u) = step.(t) then
+            group := u :: !group
+        done;
+        let g = Array.of_list !group in
+        if Array.length g > Array.length !best then best := g
+      done;
+      !best
+    end
+  in
+  let k_main = Array.length main_idx in
+  let use_walk = k_main >= 1 && nt - k_main <= 1 in
+  if use_walk then begin
+    let aux_idx =
+      let in_main u = Array.exists (fun x -> x = u) main_idx in
+      let r = ref (-1) in
+      for u = 0 to nt - 1 do
+        if not (in_main u) then r := u
+      done;
+      !r
+    in
+    let m0 = main_idx.(0) in
+    let main = data.(m0) in
+    let mstep = step.(m0) in
+    let wcoef = Array.map (fun t -> coef.(t)) main_idx in
+    let wdelta = Array.make k_main 0 in
+    (* symmetric shapes: one centre + (k-1) equal-coefficient neighbours
+       (Jacobi / residual stages); computed once per region *)
+    let sym_split =
+      if k_main < 3 then None
+      else begin
+        let counts = Hashtbl.create 4 in
+        Array.iter
+          (fun w ->
+            Hashtbl.replace counts w
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts w)))
+          wcoef;
+        if Hashtbl.length counts <> 2 then None
+        else begin
+          let singleton = ref None and bulk = ref None in
+          Hashtbl.iter
+            (fun w n ->
+              if n = 1 then singleton := Some w
+              else if n = k_main - 1 then bulk := Some w)
+            counts;
+          match (!singleton, !bulk) with
+          | Some c0, Some cn ->
+            (* index of the centre term *)
+            let ci = ref 0 in
+            Array.iteri (fun i w -> if w = c0 then ci := i) wcoef;
+            Some (c0, cn, !ci)
+          | _ -> None
+        end
+      end
+    in
+    let neighbours_of ci k =
+      Array.to_list (Array.init k Fun.id)
+      |> List.filter (fun i -> i <> ci)
+      |> Array.of_list
+    in
+    let run_row didx0 =
+      let b0 = cur.(m0) in
+      for t = 1 to k_main - 1 do
+        wdelta.(t) <- cur.(main_idx.(t)) - b0
+      done;
+      let aux, ac, a0, astep =
+        if aux_idx >= 0 then
+          (data.(aux_idx), coef.(aux_idx), cur.(aux_idx), step.(aux_idx))
+        else (main, 0.0, 0, 0)
+      in
+      let c t = wcoef.(t) and dl t = wdelta.(t) in
+      match (k_main, sym_split) with
+      | 5, Some (c0, cn, ci) ->
+        let nb = neighbours_of ci 5 in
+        let bc = cur.(main_idx.(ci)) in
+        Walks.sym4 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main
+          ~b0:bc ~step:mstep ~c0 ~cn
+          ~d1:(cur.(main_idx.(nb.(0))) - bc)
+          ~d2:(cur.(main_idx.(nb.(1))) - bc)
+          ~d3:(cur.(main_idx.(nb.(2))) - bc)
+          ~d4:(cur.(main_idx.(nb.(3))) - bc)
+          ~aux ~ac ~a0 ~astep
+      | 7, Some (c0, cn, ci) ->
+        let nb = neighbours_of ci 7 in
+        let bc = cur.(main_idx.(ci)) in
+        Walks.sym6 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main
+          ~b0:bc ~step:mstep ~c0 ~cn
+          ~d1:(cur.(main_idx.(nb.(0))) - bc)
+          ~d2:(cur.(main_idx.(nb.(1))) - bc)
+          ~d3:(cur.(main_idx.(nb.(2))) - bc)
+          ~d4:(cur.(main_idx.(nb.(3))) - bc)
+          ~d5:(cur.(main_idx.(nb.(4))) - bc)
+          ~d6:(cur.(main_idx.(nb.(5))) - bc)
+          ~aux ~ac ~a0 ~astep
+      | 1, _ ->
+        Walks.k1 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~aux ~ac ~a0 ~astep
+      | 2, _ ->
+        Walks.k2 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~aux ~ac ~a0 ~astep
+      | 3, _ ->
+        Walks.k3 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~aux ~ac ~a0 ~astep
+      | 4, _ ->
+        Walks.k4 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~c3:(c 3) ~d3:(dl 3) ~aux ~ac ~a0 ~astep
+      | 5, _ ->
+        Walks.k5 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~c3:(c 3) ~d3:(dl 3) ~c4:(c 4) ~d4:(dl 4) ~aux ~ac ~a0 ~astep
+      | 6, _ ->
+        Walks.k6 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~c3:(c 3) ~d3:(dl 3) ~c4:(c 4) ~d4:(dl 4) ~c5:(c 5) ~d5:(dl 5)
+          ~aux ~ac ~a0 ~astep
+      | 7, _ ->
+        Walks.k7 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~c3:(c 3) ~d3:(dl 3) ~c4:(c 4) ~d4:(dl 4) ~c5:(c 5) ~d5:(dl 5)
+          ~c6:(c 6) ~d6:(dl 6) ~aux ~ac ~a0 ~astep
+      | 8, _ ->
+        Walks.k8 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~c3:(c 3) ~d3:(dl 3) ~c4:(c 4) ~d4:(dl 4) ~c5:(c 5) ~d5:(dl 5)
+          ~c6:(c 6) ~d6:(dl 6) ~c7:(c 7) ~d7:(dl 7) ~aux ~ac ~a0 ~astep
+      | 9, _ ->
+        Walks.k9 ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~c0:(c 0) ~c1:(c 1) ~d1:(dl 1) ~c2:(c 2) ~d2:(dl 2)
+          ~c3:(c 3) ~d3:(dl 3) ~c4:(c 4) ~d4:(dl 4) ~c5:(c 5) ~d5:(dl 5)
+          ~c6:(c 6) ~d6:(dl 6) ~c7:(c 7) ~d7:(dl 7) ~c8:(c 8) ~d8:(dl 8)
+          ~aux ~ac ~a0 ~astep
+      | _, _ ->
+        Walks.kn ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~main ~b0
+          ~step:mstep ~coef:wcoef ~delta:wdelta ~aux ~ac ~a0 ~astep
+    in
+    iterate_rows ~d ~counts ~np ~tbase ~tstep ~dbase:!dbase ~dstep ~cur
+      ~run_row
+  end
+  else begin
+    let inner = inner_for np in
+    let run_row didx0 =
+      inner ~n1 ~base ~dst:dst.data ~didx0 ~dstep:inner_dstep ~coef ~data
+        ~start:cur ~step
+    in
+    iterate_rows ~d ~counts ~np ~tbase ~tstep ~dbase:!dbase ~dstep ~cur
+      ~run_row
+  end
+
+(* Iterate the parity sub-lattice of [box]; for each point run the terms.
+   [m] = 1 (no parity) or 2. *)
+let run_lin ~specialize ~(srcs : source array) ~(dst : source) ~box ~parity
+    ~base ~(terms : term array) =
+  if not (Box.is_empty box) then begin
+    let d = Box.rank box in
+    let m = match parity with None -> 1 | Some _ -> 2 in
+    let start = Array.copy box.Box.lo in
+    (match parity with
+     | None -> ()
+     | Some p ->
+       for k = 0 to d - 1 do
+         start.(k) <- align_lo box.Box.lo.(k) p.(k) m
+       done);
+    let counts =
+      Array.init d (fun k ->
+          if start.(k) > box.Box.hi.(k) then 0
+          else ((box.Box.hi.(k) - start.(k)) / m) + 1)
+    in
+    if Array.for_all (fun c -> c > 0) counts then begin
+      let nt = Array.length terms in
+      if nt = 0 then begin
+        (* constant definition: applies to the whole (sub-)lattice *)
+        if m = 1 then fill_box dst (Box.v ~lo:start ~hi:box.Box.hi) base
+        else begin
+          let idx = Array.copy start in
+          let rec go k =
+            if k = d then
+              Bigarray.Array1.unsafe_set dst.data (source_index dst idx) base
+            else begin
+              let x = ref start.(k) in
+              while !x <= box.Box.hi.(k) do
+                idx.(k) <- !x;
+                go (k + 1);
+                x := !x + m
+              done
+            end
+          in
+          go 0
+        end
+      end
+      else
+        run_lin_terms ~specialize ~srcs ~dst ~box ~d ~m ~start ~counts ~base
+          ~terms
+    end
+  end
+
+(* General fallback: per-point interpretation. *)
+let run_gen ~(srcs : source array) ~(dst : source) ~box ~parity ~eval
+    ~producers =
+  if not (Box.is_empty box) then begin
+    let d = Box.rank box in
+    let m = match parity with None -> 1 | Some _ -> 2 in
+    let start = Array.copy box.Box.lo in
+    (match parity with
+     | None -> ()
+     | Some p ->
+       for k = 0 to d - 1 do
+         start.(k) <- align_lo box.Box.lo.(k) p.(k) m
+       done);
+    ignore producers;
+    let idx = Array.copy start in
+    let rec go k =
+      if k = d then
+        Bigarray.Array1.unsafe_set dst.data (source_index dst idx)
+          (eval srcs idx)
+      else begin
+        let x = ref start.(k) in
+        while !x <= box.Box.hi.(k) do
+          idx.(k) <- !x;
+          go (k + 1);
+          x := !x + m
+        done
+      end
+    in
+    if Array.for_all2 (fun s h -> s <= h) start box.Box.hi then go 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+let compile ?(specialize = true) (f : Func.t) ~params =
+  (match f.Func.kind with
+   | Func.Input -> invalid_arg "Compile.compile: cannot compile an input"
+   | Func.Pointwise | Func.Smooth _ | Func.Restriction | Func.Interpolation ->
+     ());
+  let boundary =
+    match f.Func.boundary with
+    | Func.Dirichlet v -> v
+    | Func.Ghost_input -> invalid_arg "Compile.compile: ghost-input stage"
+  in
+  (* producer binding order: sorted ids *)
+  let producers = Array.of_list (Func.producers f) in
+  let pos_of id =
+    let rec find i =
+      if i >= Array.length producers then
+        invalid_arg "Compile.compile: unknown producer"
+      else if producers.(i) = id then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let exprs_with_parity =
+    match f.Func.defn with
+    | Func.Undefined -> []
+    | Func.Def e -> [ (None, e) ]
+    | Func.Parity es ->
+      List.init (Array.length es) (fun p ->
+          let bits = Array.init f.Func.dims (fun k -> (p lsr k) land 1) in
+          (Some bits, es.(p)))
+  in
+  let mk_case (parity, e) =
+    let kernel =
+      match linearize e ~params with
+      | Some (base, raw_terms) ->
+        let terms =
+          Array.of_list
+            (List.map (fun (w, fid, a) -> { coef = w; pos = pos_of fid; accs = a })
+               raw_terms)
+        in
+        if case_is_affine ~parity terms then Lin { base; terms }
+        else
+          Gen
+            (fun srcs coords ->
+              eval_expr e ~params
+                ~lookup:(fun fid pc ->
+                  let src = srcs.(pos_of fid) in
+                  Bigarray.Array1.unsafe_get src.data (source_index src pc))
+                coords)
+      | None ->
+        Gen
+          (fun srcs coords ->
+            eval_expr e ~params
+              ~lookup:(fun fid pc ->
+                let src = srcs.(pos_of fid) in
+                Bigarray.Array1.unsafe_get src.data (source_index src pc))
+              coords)
+    in
+    { parity; kernel }
+  in
+  let cases = List.map mk_case exprs_with_parity in
+  let run ~srcs ~dst ~interior ~region =
+    if not (Box.is_empty region) then begin
+      if Array.length srcs <> Array.length producers then
+        invalid_arg "Compile.run: binding count mismatch";
+      fill_rim dst ~region ~interior boundary;
+      let inner = Box.inter region interior in
+      List.iter
+        (fun c ->
+          match c.kernel with
+          | Lin { base; terms } ->
+            run_lin ~specialize ~srcs ~dst ~box:inner ~parity:c.parity ~base
+              ~terms
+          | Gen eval ->
+            run_gen ~srcs ~dst ~box:inner ~parity:c.parity ~eval ~producers)
+        cases
+    end
+  in
+  { func = f; producers; boundary; cases; run }

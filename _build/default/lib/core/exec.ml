@@ -1,0 +1,379 @@
+open Repro_ir
+open Repro_poly
+module Buf = Repro_grid.Buf
+module Grid = Repro_grid.Grid
+module Parallel = Repro_runtime.Parallel
+module Mempool = Repro_runtime.Mempool
+
+type runtime = {
+  par : Parallel.t;
+  pool : Mempool.t;
+}
+
+let runtime ?(domains = 1) () =
+  { par = Parallel.create domains; pool = Mempool.create () }
+
+let free_runtime rt =
+  Parallel.teardown rt.par;
+  Mempool.clear rt.pool
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratchpad buffers, cached across tiles and cycles.       *)
+
+type scratch_cache = (int, int * Buf.t array) Hashtbl.t
+(* gid -> (plan uid, slot buffers) *)
+
+let scratch_key : scratch_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let scratch_for ~plan_uid ~gid ~(lens : int array) =
+  let tbl = Domain.DLS.get scratch_key in
+  match Hashtbl.find_opt tbl gid with
+  | Some (uid, bufs)
+    when uid = plan_uid && Array.length bufs = Array.length lens ->
+    bufs
+  | Some _ | None ->
+    let bufs = Array.map Buf.create_uninit lens in
+    Hashtbl.replace tbl gid (plan_uid, bufs);
+    bufs
+
+(* ------------------------------------------------------------------ *)
+(* Source construction helpers                                          *)
+
+let strides_of_extents extents =
+  let d = Array.length extents in
+  let s = Array.make d 1 in
+  for k = d - 2 downto 0 do
+    s.(k) <- s.(k + 1) * extents.(k + 1)
+  done;
+  s
+
+let full_source (buf : Buf.t) sizes =
+  let extents = Array.map (fun n -> n + 2) sizes in
+  { Compile.data = buf.Buf.data;
+    strides = strides_of_extents extents;
+    org = Array.make (Array.length sizes) 0 }
+
+let region_source (buf : Buf.t) (region : Box.t) =
+  { Compile.data = buf.Buf.data;
+    strides = strides_of_extents (Box.widths region);
+    org = Array.copy region.Box.lo }
+
+(* Copy the values of [box] from [src] to [dst]; both must have unit stride
+   in the last dimension. *)
+let copy_box ~(src : Compile.source) ~(dst : Compile.source) (box : Box.t) =
+  if not (Box.is_empty box) then begin
+    let d = Box.rank box in
+    assert (src.Compile.strides.(d - 1) = 1 && dst.Compile.strides.(d - 1) = 1);
+    let row = Array.copy box.Box.lo in
+    let len = box.Box.hi.(d - 1) - box.Box.lo.(d - 1) + 1 in
+    let rec go k =
+      if k = d - 1 then begin
+        let s0 = Compile.source_index src row in
+        let d0 = Compile.source_index dst row in
+        let s = Bigarray.Array1.sub src.Compile.data s0 len in
+        let t = Bigarray.Array1.sub dst.Compile.data d0 len in
+        Bigarray.Array1.blit s t
+      end
+      else
+        for x = box.Box.lo.(k) to box.Box.hi.(k) do
+          row.(k) <- x;
+          go (k + 1)
+        done
+    in
+    go 0
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  plan : Plan.t;
+  rt : runtime;
+  bufs : Buf.t option array;  (* by array id *)
+  input_grids : Grid.t array;  (* by input index *)
+  (* strides/extents of each func's full array layout, by func id *)
+  func_sizes : int array array;
+}
+
+let check_grid_matches (f : Func.t) ~n (g : Grid.t) =
+  let expect = Array.map (fun s -> Sizeexpr.eval ~n s + 2) f.Func.sizes in
+  if Grid.extents g <> expect then
+    invalid_arg
+      (Printf.sprintf "Exec.run: grid extents mismatch for %s" f.Func.name)
+
+let array_buf ctx a =
+  match ctx.bufs.(a) with
+  | Some b -> b
+  | None -> invalid_arg "Exec.run: array used before allocation"
+
+let source_of_binding ctx ~(member : Plan.member)
+    ~(tile_srcs : Compile.source option array) i =
+  match member.Plan.src_of.(i) with
+  | Plan.P_input idx ->
+    let g = ctx.input_grids.(idx) in
+    { Compile.data = g.Grid.buf.Buf.data;
+      strides = Array.copy g.Grid.strides;
+      org = Array.make (Grid.dims g) 0 }
+  | Plan.P_array a ->
+    let pid = member.Plan.compiled.Compile.producers.(i) in
+    full_source (array_buf ctx a) ctx.func_sizes.(pid)
+  | Plan.P_member p -> (
+    match tile_srcs.(p) with
+    | Some s -> s
+    | None -> invalid_arg "Exec.run: scratch read before it was computed")
+
+(* ------------------------------------------------------------------ *)
+(* Tiled group execution                                                *)
+
+let run_tile ctx (tg : Plan.tiled_group) scratch tile =
+  let req = Regions.demand tg.Plan.geom ~tile in
+  let nm = Array.length tg.Plan.members in
+  (* per member: the source its in-group consumers read (its scratchpad) *)
+  let tile_srcs : Compile.source option array = Array.make nm None in
+  for p = 0 to nm - 1 do
+    let m = tg.Plan.members.(p) in
+    let id, region = req.(p) in
+    assert (id = m.Plan.func.Func.id);
+    if not (Box.is_empty region) then begin
+      let interior = Box.of_sizes m.Plan.sizes in
+      let srcs =
+        Array.init
+          (Array.length m.Plan.src_of)
+          (source_of_binding ctx ~member:m ~tile_srcs)
+      in
+      match (m.Plan.scratch_slot, m.Plan.array_id) with
+      | Some slot, arr ->
+        let dst = region_source scratch.(slot) region in
+        m.Plan.compiled.Compile.run ~srcs ~dst ~interior ~region;
+        tile_srcs.(p) <- Some dst;
+        (match arr with
+         | Some a ->
+           (* live-out with in-group readers: publish the own slice *)
+           let own = Regions.own_slice tg.Plan.geom id ~tile in
+           let adst = full_source (array_buf ctx a) m.Plan.sizes in
+           copy_box ~src:dst ~dst:adst (Box.inter own region)
+         | None -> ())
+      | None, Some a ->
+        let own = Regions.own_slice tg.Plan.geom id ~tile in
+        let dst = full_source (array_buf ctx a) m.Plan.sizes in
+        m.Plan.compiled.Compile.run ~srcs ~dst ~interior
+          ~region:(Box.inter own region)
+      | None, None ->
+        invalid_arg
+          (m.Plan.func.Func.name ^ ": member with neither scratch nor array")
+    end
+  done
+
+let run_tiled ctx (tg : Plan.tiled_group) =
+  let ntiles = Array.length tg.Plan.tiles in
+  Parallel.parallel_for ctx.rt.par ~lo:0 ~hi:(ntiles - 1) (fun ti ->
+      let scratch =
+        scratch_for ~plan_uid:ctx.plan.Plan.uid ~gid:tg.Plan.gid
+          ~lens:tg.Plan.scratch_slot_len
+      in
+      run_tile ctx tg scratch tg.Plan.tiles.(ti))
+
+(* ------------------------------------------------------------------ *)
+(* Diamond group execution                                              *)
+
+let run_diamond ctx (dg : Plan.diamond_group) =
+  let nsteps = Array.length dg.Plan.steps in
+  let last = dg.Plan.steps.(nsteps - 1) in
+  let out_arr =
+    match last.Plan.array_id with
+    | Some a -> array_buf ctx a
+    | None -> invalid_arg "Exec.run: diamond chain without output array"
+  in
+  let len = Array.fold_left (fun acc s -> acc * (s + 2)) 1 dg.Plan.sizes in
+  let tmp =
+    if ctx.plan.Plan.opts.Options.pool then Mempool.acquire ctx.rt.pool len
+    else Buf.create_uninit len
+  in
+  let boundary =
+    match last.Plan.func.Func.boundary with
+    | Func.Dirichlet v -> v
+    | Func.Ghost_input -> 0.0
+  in
+  let interior = Box.of_sizes dg.Plan.sizes in
+  let ghost = Box.with_ghost dg.Plan.sizes in
+  let out_src = full_source out_arr dg.Plan.sizes in
+  let tmp_src = full_source tmp dg.Plan.sizes in
+  Compile.fill_rim out_src ~region:ghost ~interior boundary;
+  Compile.fill_rim tmp_src ~region:ghost ~interior boundary;
+  (* buffer holding iterate t: the final step lands in the output array *)
+  let buf_of t = if (nsteps - t) mod 2 = 0 then out_src else tmp_src in
+  let init_src =
+    match dg.Plan.init_src with
+    | None -> None  (* zero-init chain: step 0 reads no previous iterate *)
+    | Some (Plan.P_input idx) ->
+      let g = ctx.input_grids.(idx) in
+      Some
+        { Compile.data = g.Grid.buf.Buf.data;
+          strides = Array.copy g.Grid.strides;
+          org = Array.make (Grid.dims g) 0 }
+    | Some (Plan.P_array a) ->
+      let pid =
+        dg.Plan.steps.(0).Plan.compiled.Compile.producers.(dg.Plan.prev_pos.(0))
+      in
+      Some (full_source (array_buf ctx a) ctx.func_sizes.(pid))
+    | Some (Plan.P_member _) -> invalid_arg "Exec.run: bad diamond init source"
+  in
+  let d = Array.length dg.Plan.sizes in
+  let size = dg.Plan.sizes.(0) in
+  (* schedule: wavefronts of tiles plus a per-tile row iterator, for the
+     chosen time-tiling scheme *)
+  let fronts, iter_rows =
+    match dg.Plan.scheme with
+    | Plan.Sched_diamond { sigma } ->
+      ( Array.map
+          (Array.map (fun (t : Diamond.tile) -> `D t))
+          (Diamond.wavefronts ~steps:nsteps ~size ~sigma),
+        fun tile f ->
+          match tile with
+          | `D t -> Diamond.iter_tile ~steps:nsteps ~size ~sigma t ~f
+          | `S t -> ignore t; assert false )
+    | Plan.Sched_skewed { tau; sigma } ->
+      ( Array.map
+          (Array.map (fun (t : Skewed.tile) -> `S t))
+          (Skewed.wavefronts ~steps:nsteps ~size ~tau ~sigma),
+        fun tile f ->
+          match tile with
+          | `S t -> Skewed.iter_tile ~steps:nsteps ~size ~tau ~sigma t ~f
+          | `D t -> ignore t; assert false )
+  in
+  Array.iter
+    (fun front ->
+      Parallel.parallel_for ctx.rt.par ~lo:0 ~hi:(Array.length front - 1)
+        (fun fi ->
+          iter_rows front.(fi) (fun ~t ~xlo ~xhi ->
+              let step = t - 1 in
+              let m = dg.Plan.steps.(step) in
+              let prev =
+                if t = 1 then init_src else Some (buf_of (t - 1))
+              in
+              let srcs =
+                Array.init
+                  (Array.length m.Plan.src_of)
+                  (fun i ->
+                    if i = dg.Plan.prev_pos.(step) then
+                      match prev with
+                      | Some p -> p
+                      | None ->
+                        invalid_arg "Exec.run: missing diamond init source"
+                    else source_of_binding ctx ~member:m ~tile_srcs:[||] i)
+              in
+              let lo = Array.make d 1 and hi = Array.copy dg.Plan.sizes in
+              lo.(0) <- xlo;
+              hi.(0) <- xhi;
+              let region = Box.full lo hi in
+              m.Plan.compiled.Compile.run ~srcs ~dst:(buf_of t) ~interior
+                ~region)))
+    fronts;
+  if ctx.plan.Plan.opts.Options.pool then Mempool.release ctx.rt.pool tmp
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+
+let liveouts_of_group (g : Plan.group_exec) =
+  match g with
+  | Plan.G_tiled tg ->
+    Array.to_list tg.Plan.members
+    |> List.filter_map (fun (m : Plan.member) ->
+           Option.map (fun a -> (m, a)) m.Plan.array_id)
+  | Plan.G_diamond dg ->
+    Array.to_list dg.Plan.steps
+    |> List.filter_map (fun (m : Plan.member) ->
+           Option.map (fun a -> (m, a)) m.Plan.array_id)
+
+let run plan rt ~inputs ~outputs =
+  let n = plan.Plan.n in
+  let nfuncs = Array.length (Pipeline.funcs plan.Plan.pipeline) in
+  let func_sizes =
+    Array.init nfuncs (fun id ->
+        let f = Pipeline.func plan.Plan.pipeline id in
+        Array.map (fun s -> Sizeexpr.eval ~n s) f.Func.sizes)
+  in
+  let input_grids =
+    Array.map
+      (fun id ->
+        match List.assoc_opt id inputs with
+        | Some g ->
+          check_grid_matches (Pipeline.func plan.Plan.pipeline id) ~n g;
+          g
+        | None -> invalid_arg "Exec.run: missing input grid")
+      plan.Plan.inputs
+  in
+  let bufs = Array.make (Array.length plan.Plan.arrays) None in
+  (* bind output arrays to caller-provided grids *)
+  List.iter
+    (fun (fid, a) ->
+      match List.assoc_opt fid outputs with
+      | Some g ->
+        check_grid_matches (Pipeline.func plan.Plan.pipeline fid) ~n g;
+        bufs.(a) <- Some g.Grid.buf
+      | None -> invalid_arg "Exec.run: missing output grid")
+    plan.Plan.output_arrays;
+  let ctx = { plan; rt; bufs; input_grids; func_sizes } in
+  let opts = plan.Plan.opts in
+  Array.iteri
+    (fun gi group ->
+      (* acquire arrays whose first use is this group *)
+      Array.iteri
+        (fun a (info : Plan.array_info) ->
+          if info.Plan.first_group = gi && bufs.(a) = None then
+            bufs.(a) <-
+              Some
+                (if opts.Options.pool then Mempool.acquire rt.pool info.Plan.len
+                 else Buf.create_uninit info.Plan.len))
+        plan.Plan.arrays;
+      (* prefill ghost rims of this group's live-out grids *)
+      List.iter
+        (fun ((m : Plan.member), a) ->
+          let boundary =
+            match m.Plan.func.Func.boundary with
+            | Func.Dirichlet v -> v
+            | Func.Ghost_input -> 0.0
+          in
+          let src = full_source (array_buf ctx a) m.Plan.sizes in
+          Compile.fill_rim src
+            ~region:(Box.with_ghost m.Plan.sizes)
+            ~interior:(Box.of_sizes m.Plan.sizes)
+            boundary)
+        (liveouts_of_group group);
+      (match group with
+       | Plan.G_tiled tg -> run_tiled ctx tg
+       | Plan.G_diamond dg -> run_diamond ctx dg);
+      (* release arrays after their last consuming group *)
+      if opts.Options.pool then
+        Array.iteri
+          (fun a (info : Plan.array_info) ->
+            if info.Plan.last_group = gi && not info.Plan.output then begin
+              match bufs.(a) with
+              | Some b ->
+                Mempool.release rt.pool b;
+                bufs.(a) <- None
+              | None -> ()
+            end)
+          plan.Plan.arrays)
+    plan.Plan.groups
+
+let points_computed plan =
+  Array.fold_left
+    (fun acc group ->
+      match group with
+      | Plan.G_tiled tg ->
+        Array.fold_left
+          (fun acc tile ->
+            Array.fold_left
+              (fun acc (_, b) -> acc + Box.points b)
+              acc
+              (Regions.demand tg.Plan.geom ~tile))
+          acc tg.Plan.tiles
+      | Plan.G_diamond dg ->
+        let inner =
+          Array.fold_left ( * ) 1
+            (Array.sub dg.Plan.sizes 1 (Array.length dg.Plan.sizes - 1))
+        in
+        acc
+        + (Array.length dg.Plan.steps * dg.Plan.sizes.(0) * inner))
+    0 plan.Plan.groups

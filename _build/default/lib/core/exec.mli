@@ -1,0 +1,30 @@
+(** Plan execution: runs one pipeline invocation (one multigrid cycle).
+
+    The caller keeps a {!runtime} alive across cycles: its memory pool is
+    what makes §3.2.3 pooling effective (arrays are physically allocated
+    during the first cycle and recycled by all later ones), and its domain
+    pool is reused by every parallel region. *)
+
+type runtime = {
+  par : Repro_runtime.Parallel.t;
+  pool : Repro_runtime.Mempool.t;
+}
+
+val runtime : ?domains:int -> unit -> runtime
+(** Fresh runtime; [domains] defaults to 1. *)
+
+val free_runtime : runtime -> unit
+
+val run :
+  Plan.t -> runtime -> inputs:(int * Repro_grid.Grid.t) list ->
+  outputs:(int * Repro_grid.Grid.t) list -> unit
+(** Executes the plan.  [inputs] and [outputs] map pipeline func ids to
+    caller-owned grids; output grids are written in place (interior and
+    ghost).  Input grids are never modified.
+
+    @raise Invalid_argument when a grid's extents do not match the plan's
+    problem size, or when an input/output id is missing. *)
+
+val points_computed : Plan.t -> int
+(** Total grid points one execution evaluates, including overlapped-tiling
+    redundancy — the work metric behind the redundancy statistics. *)

@@ -1,0 +1,84 @@
+type smoother_path =
+  | Overlapped_smoother
+  | Diamond_smoother of { sigma : int }
+  | Skewed_smoother of { tau : int; sigma : int }
+
+type t = {
+  fuse : bool;
+  tile_2d : int array;
+  tile_3d : int array;
+  naive_rows : int;
+  group_size_limit : int;
+  overlap_threshold : float;
+  scratch_reuse : bool;
+  scratch_class_threshold : int;
+  array_reuse : bool;
+  pool : bool;
+  smoother : smoother_path;
+  walk_kernels : bool;
+}
+
+let naive =
+  { fuse = false;
+    tile_2d = [| 32; 256 |];
+    tile_3d = [| 8; 8; 64 |];
+    naive_rows = 128;
+    group_size_limit = 1;
+    overlap_threshold = 0.6;
+    scratch_reuse = false;
+    scratch_class_threshold = 32;
+    array_reuse = false;
+    pool = false;
+    smoother = Overlapped_smoother;
+    walk_kernels = true }
+
+let opt =
+  { naive with fuse = true; group_size_limit = 6 }
+
+let opt_plus =
+  { opt with scratch_reuse = true; array_reuse = true; pool = true }
+
+let dtile_opt_plus =
+  { opt_plus with smoother = Diamond_smoother { sigma = 16 } }
+
+let variant_of_string = function
+  | "naive" -> Some naive
+  | "opt" -> Some opt
+  | "opt+" -> Some opt_plus
+  | "dtile-opt+" -> Some dtile_opt_plus
+  | _ -> None
+
+let name t =
+  let same_features a b =
+    a.fuse = b.fuse && a.scratch_reuse = b.scratch_reuse
+    && a.array_reuse = b.array_reuse && a.pool = b.pool
+    && (match (a.smoother, b.smoother) with
+        | Overlapped_smoother, Overlapped_smoother -> true
+        | Diamond_smoother _, Diamond_smoother _ -> true
+        | Skewed_smoother _, Skewed_smoother _ -> true
+        | (Overlapped_smoother | Diamond_smoother _ | Skewed_smoother _), _ ->
+          false)
+  in
+  if same_features t naive then "naive"
+  else if same_features t opt then "opt"
+  else if same_features t opt_plus then "opt+"
+  else if same_features t dtile_opt_plus then "dtile-opt+"
+  else "custom"
+
+let with_tiles t ~t2 ~t3 = { t with tile_2d = t2; tile_3d = t3 }
+
+let pp fmt t =
+  let smoother =
+    match t.smoother with
+    | Overlapped_smoother -> "overlapped"
+    | Diamond_smoother { sigma } -> Printf.sprintf "diamond(sigma=%d)" sigma
+    | Skewed_smoother { tau; sigma } ->
+      Printf.sprintf "skewed(tau=%d,sigma=%d)" tau sigma
+  in
+  Format.fprintf fmt
+    "{%s fuse=%b tiles2d=%s tiles3d=%s limit=%d scratch_reuse=%b \
+     array_reuse=%b pool=%b smoother=%s}"
+    (name t) t.fuse
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.tile_2d)))
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.tile_3d)))
+    t.group_size_limit t.scratch_reuse t.array_reuse t.pool smoother

@@ -1,0 +1,53 @@
+(** Optimizer configuration: which of the paper's code versions to build.
+
+    The presets correspond to the compared variants of §4.1:
+    {!naive} (polymg-naive), {!opt} (polymg-opt), {!opt_plus}
+    (polymg-opt+), {!dtile_opt_plus} (polymg-dtile-opt+).  Individual
+    feature flags can be toggled from a preset — this is how the storage
+    breakdown of Fig. 11b is produced. *)
+
+type smoother_path =
+  | Overlapped_smoother  (** smoothing steps fused into overlapped tiles *)
+  | Diamond_smoother of { sigma : int }
+      (** pre/post smoothing chains executed with diamond time tiling *)
+  | Skewed_smoother of { tau : int; sigma : int }
+      (** smoothing chains executed with time-skewed (wavefront) tiling —
+          the §5 comparison scheme with pipelined startup *)
+
+type t = {
+  fuse : bool;  (** auto-grouping on; off = one group per stage *)
+  tile_2d : int array;  (** overlapped tile sizes for rank-2 groups *)
+  tile_3d : int array;
+  naive_rows : int;
+      (** for unfused plans: rows per parallel chunk of the outer loop
+          (the default, 128, behaves like the paper's plain
+          [parallel for] over the outer dimension) *)
+  group_size_limit : int;  (** max stages per fused group *)
+  overlap_threshold : float;
+      (** max redundant-computation fraction tolerated per group *)
+  scratch_reuse : bool;  (** §3.2.1 intra-group scratchpad reuse *)
+  scratch_class_threshold : int;
+      (** ± size tolerance (elements/dim) for scratchpad storage classes *)
+  array_reuse : bool;  (** §3.2.2 inter-group full-array reuse *)
+  pool : bool;  (** §3.2.3 pooled allocation across cycles *)
+  smoother : smoother_path;
+  walk_kernels : bool;
+      (** dispatch linear stages to the specialized walk-form inner loops
+          (the register shape of generated C); off = generic per-term
+          cursor loops.  An ablation knob for the codegen-quality axis. *)
+}
+
+val naive : t
+val opt : t
+val opt_plus : t
+val dtile_opt_plus : t
+
+val variant_of_string : string -> t option
+(** Recognizes ["naive"], ["opt"], ["opt+"], ["dtile-opt+"]. *)
+
+val name : t -> string
+(** Best-effort name of the matching preset, or ["custom"]. *)
+
+val with_tiles : t -> t2:int array -> t3:int array -> t
+
+val pp : Format.formatter -> t -> unit

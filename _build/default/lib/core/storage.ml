@@ -1,0 +1,53 @@
+let last_use_map ~ids ~time ~uses =
+  let map = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let t =
+        List.fold_left
+          (fun acc u -> Int.max acc (time u))
+          (time id) (uses id)
+      in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt map t) in
+      Hashtbl.replace map t (id :: cur))
+    ids;
+  map
+
+let remap ~ids ~time ~last_use ~cls =
+  let sorted =
+    List.stable_sort (fun a b -> Int.compare (time a) (time b)) ids
+  in
+  let pools : ('c, int list) Hashtbl.t = Hashtbl.create 16 in
+  let storage = Hashtbl.create 16 in
+  let slot_count = ref 0 in
+  (* (last_use, id) min-heap substitute: sorted association list *)
+  let dying = ref [] in
+  let free_dead ~before =
+    let dead, alive = List.partition (fun (lu, _) -> lu < before) !dying in
+    dying := alive;
+    List.iter
+      (fun (_, id) ->
+        let c = cls id in
+        let pool = Option.value ~default:[] (Hashtbl.find_opt pools c) in
+        Hashtbl.replace pools c (Hashtbl.find storage id :: pool))
+      dead
+  in
+  List.iter
+    (fun id ->
+      let t = time id in
+      free_dead ~before:t;
+      let c = cls id in
+      (match Hashtbl.find_opt pools c with
+       | Some (slot :: rest) ->
+         Hashtbl.replace pools c rest;
+         Hashtbl.replace storage id slot
+       | Some [] | None ->
+         Hashtbl.replace storage id !slot_count;
+         incr slot_count);
+      dying := (last_use id, id) :: !dying)
+    sorted;
+  (storage, !slot_count)
+
+let no_reuse ~ids =
+  let storage = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace storage id i) ids;
+  (storage, List.length ids)

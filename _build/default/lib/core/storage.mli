@@ -1,0 +1,30 @@
+(** Storage reuse by greedy remapping — Algorithms 2 and 3 of the paper.
+
+    Used at two levels (§3.2): within a group, to colour scratchpads so
+    that e.g. a chain of smoothing steps runs in two buffers (Fig. 7); and
+    across groups, to let full arrays serve several live-out functions.
+    Reuse is only allowed within a {e storage class}; the class key is
+    polymorphic here — callers use quantized extents for scratchpads and
+    per-dimension parametric size coefficients for full arrays. *)
+
+val last_use_map :
+  ids:int list -> time:(int -> int) -> uses:(int -> int list) ->
+  (int, int list) Hashtbl.t
+(** Algorithm 2, [getLastUseMap]: maps a timestamp to the ids whose last
+    use happens at that time.  The last use of an id is the maximum
+    timestamp over [uses id] (its consumers), or its own timestamp when it
+    has no consumer. *)
+
+val remap :
+  ids:int list -> time:(int -> int) -> last_use:(int -> int) ->
+  cls:(int -> 'c) -> (int, int) Hashtbl.t * int
+(** Algorithm 3, [remapStorage]: processes ids in ascending timestamp;
+    each either pops a free slot from its class pool or allocates a fresh
+    slot.  A dead id's slot returns to the pool only for ids of strictly
+    later timestamps (ids sharing a timestamp — multiple live-outs of one
+    group — never exchange storage, per §3.2.2).  Returns the id → slot
+    map and the number of slots allocated. *)
+
+val no_reuse : ids:int list -> (int, int) Hashtbl.t * int
+(** The identity mapping used when the optimization is disabled: one slot
+    per id. *)

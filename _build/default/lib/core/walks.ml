@@ -1,0 +1,243 @@
+(* Innermost-loop kernels in "walk" form: one cursor advancing through a
+   shared producer buffer with constant per-term deltas, plus at most one
+   auxiliary stream on a second buffer.  This is the register-level shape
+   of the C loops the paper's backend generates (Fig. 8): a k-point
+   stencil on one array plus the rhs array.  Callers pass a zero-weighted
+   self-referential aux stream when there is none.
+
+   All kernels compute, for n1 points:
+     dst[di] = base + Σ_t c_t · main[b + d_t] + ac · aux[a]
+     di += dstep; b += step; a += astep                                  *)
+
+module Buf = Repro_grid.Buf
+
+let k1 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main !b)
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := !b + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k2 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k3 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k4 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~c3 ~d3 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (c3 *. Bigarray.Array1.unsafe_get main (p + d3))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k5 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~c3 ~d3 ~c4 ~d4 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (c3 *. Bigarray.Array1.unsafe_get main (p + d3))
+       +. (c4 *. Bigarray.Array1.unsafe_get main (p + d4))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k6 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~c3 ~d3 ~c4 ~d4 ~c5 ~d5 ~(aux : Buf.data) ~ac ~a0
+    ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (c3 *. Bigarray.Array1.unsafe_get main (p + d3))
+       +. (c4 *. Bigarray.Array1.unsafe_get main (p + d4))
+       +. (c5 *. Bigarray.Array1.unsafe_get main (p + d5))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k7 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~c3 ~d3 ~c4 ~d4 ~c5 ~d5 ~c6 ~d6 ~(aux : Buf.data) ~ac
+    ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (c3 *. Bigarray.Array1.unsafe_get main (p + d3))
+       +. (c4 *. Bigarray.Array1.unsafe_get main (p + d4))
+       +. (c5 *. Bigarray.Array1.unsafe_get main (p + d5))
+       +. (c6 *. Bigarray.Array1.unsafe_get main (p + d6))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k8 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~c3 ~d3 ~c4 ~d4 ~c5 ~d5 ~c6 ~d6 ~c7 ~d7
+    ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (c3 *. Bigarray.Array1.unsafe_get main (p + d3))
+       +. (c4 *. Bigarray.Array1.unsafe_get main (p + d4))
+       +. (c5 *. Bigarray.Array1.unsafe_get main (p + d5))
+       +. (c6 *. Bigarray.Array1.unsafe_get main (p + d6))
+       +. (c7 *. Bigarray.Array1.unsafe_get main (p + d7))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let k9 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~c0 ~c1 ~d1 ~c2 ~d2 ~c3 ~d3 ~c4 ~d4 ~c5 ~d5 ~c6 ~d6 ~c7 ~d7 ~c8 ~d8
+    ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (c1 *. Bigarray.Array1.unsafe_get main (p + d1))
+       +. (c2 *. Bigarray.Array1.unsafe_get main (p + d2))
+       +. (c3 *. Bigarray.Array1.unsafe_get main (p + d3))
+       +. (c4 *. Bigarray.Array1.unsafe_get main (p + d4))
+       +. (c5 *. Bigarray.Array1.unsafe_get main (p + d5))
+       +. (c6 *. Bigarray.Array1.unsafe_get main (p + d6))
+       +. (c7 *. Bigarray.Array1.unsafe_get main (p + d7))
+       +. (c8 *. Bigarray.Array1.unsafe_get main (p + d8))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+(* generic walk: delta/coefficient arrays, for wide stencils (27-point) *)
+let kn ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0 ~step
+    ~(coef : float array) ~(delta : int array) ~(aux : Buf.data) ~ac ~a0
+    ~astep =
+  let k = Array.length coef in
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    let acc = ref (base +. (ac *. Bigarray.Array1.unsafe_get aux !a)) in
+    for t = 0 to k - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get coef t
+            *. Bigarray.Array1.unsafe_get main (p + Array.unsafe_get delta t))
+    done;
+    Bigarray.Array1.unsafe_set dst !di !acc;
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+(* Symmetric-stencil kernels: one centre coefficient plus [k] neighbours
+   sharing a single coefficient — the shape of Jacobi smoothing and
+   residual stages, where summing the neighbours before the one multiply
+   matches the flop count of hand-written code. *)
+
+let sym4 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0
+    ~step ~c0 ~cn ~d1 ~d2 ~d3 ~d4 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (cn
+           *. (Bigarray.Array1.unsafe_get main (p + d1)
+               +. Bigarray.Array1.unsafe_get main (p + d2)
+               +. Bigarray.Array1.unsafe_get main (p + d3)
+               +. Bigarray.Array1.unsafe_get main (p + d4)))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done
+
+let sym6 ~n1 ~base ~(dst : Buf.data) ~didx0 ~dstep ~(main : Buf.data) ~b0
+    ~step ~c0 ~cn ~d1 ~d2 ~d3 ~d4 ~d5 ~d6 ~(aux : Buf.data) ~ac ~a0 ~astep =
+  let b = ref b0 and a = ref a0 and di = ref didx0 in
+  for _ = 1 to n1 do
+    let p = !b in
+    Bigarray.Array1.unsafe_set dst !di
+      (base
+       +. (c0 *. Bigarray.Array1.unsafe_get main p)
+       +. (cn
+           *. (Bigarray.Array1.unsafe_get main (p + d1)
+               +. Bigarray.Array1.unsafe_get main (p + d2)
+               +. Bigarray.Array1.unsafe_get main (p + d3)
+               +. Bigarray.Array1.unsafe_get main (p + d4)
+               +. Bigarray.Array1.unsafe_get main (p + d5)
+               +. Bigarray.Array1.unsafe_get main (p + d6)))
+       +. (ac *. Bigarray.Array1.unsafe_get aux !a));
+    b := p + step;
+    a := !a + astep;
+    di := !di + dstep
+  done

@@ -1,0 +1,1 @@
+lib/grid/buf.ml: Array Bigarray Float

@@ -1,0 +1,1 @@
+lib/grid/buf.mli: Bigarray

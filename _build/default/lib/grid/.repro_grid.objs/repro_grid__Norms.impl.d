@@ -1,0 +1,1 @@
+lib/grid/norms.ml: Float Grid

@@ -1,0 +1,1 @@
+lib/grid/norms.mli: Grid

@@ -1,0 +1,36 @@
+let interior_fold g ~init ~f =
+  let acc = ref init in
+  let n = ref 0 in
+  Grid.iter_interior g ~f:(fun _ v ->
+      acc := f !acc v;
+      incr n);
+  (!acc, !n)
+
+let l2 g =
+  let sum, n = interior_fold g ~init:0.0 ~f:(fun a v -> a +. (v *. v)) in
+  if n = 0 then 0.0 else sqrt (sum /. float_of_int n)
+
+let linf g =
+  let m, _ = interior_fold g ~init:0.0 ~f:(fun a v -> Float.max a (Float.abs v)) in
+  m
+
+let check_same a b =
+  if Grid.extents a <> Grid.extents b then
+    invalid_arg "Norms: grid extent mismatch"
+
+let l2_diff a b =
+  check_same a b;
+  let sum = ref 0.0 and n = ref 0 in
+  Grid.iter_interior a ~f:(fun idx va ->
+      let d = va -. Grid.get b idx in
+      sum := !sum +. (d *. d);
+      incr n);
+  if !n = 0 then 0.0 else sqrt (!sum /. float_of_int !n)
+
+let linf_diff a b =
+  check_same a b;
+  let m = ref 0.0 in
+  Grid.iter_interior a ~f:(fun idx va ->
+      let d = Float.abs (va -. Grid.get b idx) in
+      if d > !m then m := d);
+  !m

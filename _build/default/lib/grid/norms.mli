@@ -1,0 +1,16 @@
+(** Norms and error measures over grid interiors.
+
+    All norms range over interior points only (ghost layers excluded), which
+    is the convention used for multigrid residual reporting. *)
+
+val l2 : Grid.t -> float
+(** Discrete L2 norm: sqrt of the mean of squares over interior points
+    (the NAS MG convention, [sqrt (sum x² / npoints)]). *)
+
+val linf : Grid.t -> float
+(** Max absolute value over interior points. *)
+
+val l2_diff : Grid.t -> Grid.t -> float
+(** L2 norm of the pointwise difference of two same-shaped grids. *)
+
+val linf_diff : Grid.t -> Grid.t -> float

@@ -1,0 +1,1 @@
+lib/ir/dsl.ml: Array Expr Func List Pipeline Printf Sizeexpr Weights

@@ -1,0 +1,1 @@
+lib/ir/dsl.mli: Expr Func Pipeline Sizeexpr Weights

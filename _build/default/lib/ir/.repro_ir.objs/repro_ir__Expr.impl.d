@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Array Format Int List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Expr Format Int List Printf Sizeexpr String

@@ -1,0 +1,1 @@
+lib/ir/pipeline.ml: Array Format Func List String

@@ -1,0 +1,1 @@
+lib/ir/pipeline.mli: Format Func

@@ -1,0 +1,1 @@
+lib/ir/sizeexpr.ml: Format Int Printf

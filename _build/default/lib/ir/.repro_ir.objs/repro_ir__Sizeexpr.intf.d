@@ -1,0 +1,1 @@
+lib/ir/sizeexpr.mli: Format

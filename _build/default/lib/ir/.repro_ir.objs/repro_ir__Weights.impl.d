@@ -1,0 +1,1 @@
+lib/ir/weights.ml: Array Int List

@@ -1,0 +1,120 @@
+type access = { mul : int; add : int; den : int; off : int }
+
+type unop = Neg | Abs | Sqrt
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type t =
+  | Const of float
+  | Param of string
+  | Coord of int
+  | Load of int * access array
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+let ident = { mul = 1; add = 0; den = 1; off = 0 }
+
+let id_access rank = Array.make rank ident
+
+let shifted_access offsets =
+  Array.map (fun o -> { ident with off = o }) offsets
+
+let load f offsets = Load (f, shifted_access offsets)
+let load_at f accs = Load (f, accs)
+
+(* Compose accesses: consumer coordinate x maps through [consumer] to the
+   intermediate coordinate y = (cm·x + ca)/cd + co, which maps through
+   [producer] to z = (pm·y + pa)/pd + po.  Floor divisions compose exactly
+   only in the cases below; all GMG pipelines stay within them. *)
+let map_access ~producer ~consumer =
+  let c = consumer and p = producer in
+  if c.den = 1 then
+    (* y = cm·x + (ca + co) exactly, so substitute into the producer form. *)
+    { mul = p.mul * c.mul;
+      add = (p.mul * (c.add + c.off)) + p.add;
+      den = p.den;
+      off = p.off }
+  else if p.den = 1 && p.mul = 1 then
+    (* z = y + (pa + po): a pure shift after the floor division. *)
+    { c with off = c.off + p.add + p.off }
+  else invalid_arg "Expr.map_access: inexact composition"
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let neg a = Unop (Neg, a)
+let const c = Const c
+let param s = Param s
+
+let rec loads = function
+  | Const _ | Param _ | Coord _ -> []
+  | Load (f, a) -> [ (f, a) ]
+  | Unop (_, e) -> loads e
+  | Binop (_, a, b) -> loads a @ loads b
+
+let func_ids e =
+  loads e |> List.map fst |> List.sort_uniq Int.compare
+
+let rec subst_func e ~old_id ~new_id =
+  match e with
+  | Const _ | Param _ | Coord _ -> e
+  | Load (f, a) -> if f = old_id then Load (new_id, a) else e
+  | Unop (op, x) -> Unop (op, subst_func x ~old_id ~new_id)
+  | Binop (op, a, b) ->
+    Binop (op, subst_func a ~old_id ~new_id, subst_func b ~old_id ~new_id)
+
+let rec params_acc acc = function
+  | Const _ | Coord _ | Load _ -> acc
+  | Param s -> s :: acc
+  | Unop (_, e) -> params_acc acc e
+  | Binop (_, a, b) -> params_acc (params_acc acc a) b
+
+let params e = params_acc [] e |> List.sort_uniq String.compare
+
+let rec op_count = function
+  | Const _ | Param _ | Coord _ | Load _ -> 0
+  | Unop (_, e) -> Stdlib.( + ) 1 (op_count e)
+  | Binop (_, a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (op_count a) (op_count b))
+
+let pp_access fmt (k, a) =
+  let v = Printf.sprintf "x%d" k in
+  let numer =
+    if a.mul = 1 && a.add = 0 then v
+    else if a.add = 0 then Printf.sprintf "%d*%s" a.mul v
+    else if a.mul = 1 then Printf.sprintf "%s%+d" v a.add
+    else Printf.sprintf "%d*%s%+d" a.mul v a.add
+  in
+  let scaled = if a.den = 1 then numer else Printf.sprintf "(%s)/%d" numer a.den in
+  if a.off = 0 then Format.pp_print_string fmt scaled
+  else Format.fprintf fmt "%s%+d" scaled a.off
+
+let pp ~names fmt e =
+  let rec go fmt = function
+    | Const c -> Format.fprintf fmt "%g" c
+    | Param s -> Format.pp_print_string fmt s
+    | Coord k -> Format.fprintf fmt "x%d" k
+    | Load (f, accs) ->
+      Format.fprintf fmt "%s(" (names f);
+      Array.iteri
+        (fun k a ->
+          if k > 0 then Format.pp_print_string fmt ", ";
+          pp_access fmt (k, a))
+        accs;
+      Format.pp_print_string fmt ")"
+    | Unop (Neg, e) -> Format.fprintf fmt "(-%a)" go e
+    | Unop (Abs, e) -> Format.fprintf fmt "fabs(%a)" go e
+    | Unop (Sqrt, e) -> Format.fprintf fmt "sqrt(%a)" go e
+    | Binop (op, a, b) ->
+      let s =
+        match op with
+        | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+        | Min -> "min" | Max -> "max"
+      in
+      (match op with
+       | Min | Max -> Format.fprintf fmt "%s(%a, %a)" s go a go b
+       | Add | Sub | Mul | Div -> Format.fprintf fmt "(%a %s %a)" go a s go b)
+  in
+  go fmt e
+
+let equal = Stdlib.( = )

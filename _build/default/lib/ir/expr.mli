@@ -1,0 +1,72 @@
+(** Scalar expressions defining a pipeline stage at one grid point.
+
+    A stage's definition is an expression over: constants, runtime scalar
+    parameters (e.g. the [1/h²] weight of a level), loop coordinates, and
+    loads from producer stages.  Loads use a per-dimension {e scaled affine
+    access}: producer index [= (mul·x + add)/den + off] with floor division.
+    This form covers every access GMG needs — unit-stride stencil
+    neighbourhoods ([mul=den=1]), restriction ([mul=2]: consumer at half
+    resolution reads [2x+o]), and interpolation ([den=2]: consumer at double
+    resolution reads [(x±1)/2]). *)
+
+type access = { mul : int; add : int; den : int; off : int }
+(** Producer index for consumer coordinate [x] is [(mul*x + add)/den + off]
+    (floor division; [den] ≥ 1, [mul] ≥ 1). *)
+
+type unop = Neg | Abs | Sqrt
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type t =
+  | Const of float
+  | Param of string  (** runtime scalar parameter, bound at plan time *)
+  | Coord of int  (** value of loop coordinate in dimension [k], as float *)
+  | Load of int * access array  (** [Load (func_id, accesses)], one per dim *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+val id_access : int -> access array
+(** Identity access of the given rank: reads the producer at the same point. *)
+
+val shifted_access : int array -> access array
+(** Unit-scale access at a constant per-dimension offset. *)
+
+val load : int -> int array -> t
+(** [load f offsets] is a unit-scale load of stage [f] at [x + offsets]. *)
+
+val load_at : int -> access array -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val neg : t -> t
+val const : float -> t
+val param : string -> t
+
+val map_access : producer:access -> consumer:access -> access
+(** Composition: if stage B reads stage A with [consumer] access, and A's
+    point [y] was itself defined via [producer]-style coordinates, this is
+    the access of the composite.  Requires the inner division to be exact
+    ([den = 1] on one side), which holds for all GMG compositions used. *)
+
+val loads : t -> (int * access array) list
+(** All loads appearing in the expression, with duplicates, in syntactic
+    order. *)
+
+val func_ids : t -> int list
+(** De-duplicated sorted producer ids referenced by the expression. *)
+
+val subst_func : t -> old_id:int -> new_id:int -> t
+(** Redirects every load of [old_id] to [new_id], keeping accesses. *)
+
+val params : t -> string list
+(** De-duplicated sorted runtime parameter names. *)
+
+val op_count : t -> int
+(** Number of arithmetic operations, a proxy for per-point work. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** Pretty-prints with [names] resolving stage ids. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,90 @@
+type kind =
+  | Input
+  | Pointwise
+  | Smooth of { step : int; total : int }
+  | Restriction
+  | Interpolation
+
+type defn =
+  | Undefined
+  | Def of Expr.t
+  | Parity of Expr.t array
+
+type boundary =
+  | Dirichlet of float
+  | Ghost_input
+
+type t = {
+  id : int;
+  name : string;
+  dims : int;
+  sizes : Sizeexpr.t array;
+  defn : defn;
+  boundary : boundary;
+  kind : kind;
+}
+
+let is_input t = t.kind = Input
+
+let defn_exprs t =
+  match t.defn with
+  | Undefined -> []
+  | Def e -> [ e ]
+  | Parity es -> Array.to_list es
+
+let producers t =
+  defn_exprs t
+  |> List.concat_map Expr.func_ids
+  |> List.sort_uniq Int.compare
+
+let accesses_to t id =
+  defn_exprs t
+  |> List.concat_map Expr.loads
+  |> List.filter_map (fun (f, a) -> if f = id then Some a else None)
+
+let validate t =
+  if t.dims < 1 then invalid_arg (t.name ^ ": rank must be >= 1");
+  if Array.length t.sizes <> t.dims then
+    invalid_arg (t.name ^ ": size array rank mismatch");
+  (match (t.kind, t.defn) with
+   | Input, Undefined -> ()
+   | Input, _ -> invalid_arg (t.name ^ ": inputs must have no definition")
+   | _, Undefined -> invalid_arg (t.name ^ ": non-input without definition")
+   | _, Def _ -> ()
+   | _, Parity es ->
+     if Array.length es <> 1 lsl t.dims then
+       invalid_arg (t.name ^ ": parity case count must be 2^dims"));
+  let check_expr e =
+    List.iter
+      (fun (_, accs) ->
+        if Array.length accs <> t.dims then
+          invalid_arg (t.name ^ ": access rank mismatch");
+        Array.iter
+          (fun (a : Expr.access) ->
+            if a.den < 1 || a.mul < 1 then
+              invalid_arg (t.name ^ ": access scale must be positive"))
+          accs)
+      (Expr.loads e)
+  in
+  List.iter check_expr (defn_exprs t)
+
+let pp ~names fmt t =
+  let kind_str =
+    match t.kind with
+    | Input -> "input"
+    | Pointwise -> "pointwise"
+    | Smooth { step; total } -> Printf.sprintf "smooth %d/%d" (step + 1) total
+    | Restriction -> "restrict"
+    | Interpolation -> "interp"
+  in
+  Format.fprintf fmt "@[<v 2>%s [%s] %dD size=(%s)" t.name kind_str t.dims
+    (String.concat ", "
+       (Array.to_list (Array.map Sizeexpr.to_string t.sizes)));
+  (match t.defn with
+   | Undefined -> ()
+   | Def e -> Format.fprintf fmt "@,= %a" (Expr.pp ~names) e
+   | Parity es ->
+     Array.iteri
+       (fun p e -> Format.fprintf fmt "@,case parity %d = %a" p (Expr.pp ~names) e)
+       es);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** Pipeline stages ("Functions" in PolyMage terminology).
+
+    A stage defines a grid of values over an interior domain of symbolic
+    size {!Sizeexpr.t} per dimension, with one ghost cell on each side.
+    The value at a ghost cell is given by the stage's boundary condition.
+
+    Interpolation stages use a parity-piecewise definition: one expression
+    per combination of index parities (2^dims cases), exactly like the
+    [Interp] construct of the paper (§2). *)
+
+type kind =
+  | Input  (** pipeline input grid; has no definition *)
+  | Pointwise  (** generic [Function]: residual, correction, ... *)
+  | Smooth of { step : int; total : int }
+      (** one unrolled iteration of a [TStencil] smoother *)
+  | Restriction
+  | Interpolation
+
+type defn =
+  | Undefined  (** inputs only *)
+  | Def of Expr.t
+  | Parity of Expr.t array
+      (** indexed by parity bits: bit [k] set iff coordinate [k] is odd;
+          length must be [2^dims] *)
+
+type boundary =
+  | Dirichlet of float  (** ghost cells hold a fixed value *)
+  | Ghost_input  (** inputs: ghost cells hold caller-supplied data *)
+
+type t = {
+  id : int;
+  name : string;
+  dims : int;
+  sizes : Sizeexpr.t array;  (** interior size per dimension *)
+  defn : defn;
+  boundary : boundary;
+  kind : kind;
+}
+
+val is_input : t -> bool
+
+val producers : t -> int list
+(** De-duplicated ids of stages this stage reads. *)
+
+val defn_exprs : t -> Expr.t list
+
+val accesses_to : t -> int -> Expr.access array list
+(** All accesses this stage makes to producer [id], across all cases. *)
+
+val validate : t -> unit
+(** Checks rank consistency of all accesses and parity-case count.
+    @raise Invalid_argument on malformed stages. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type t = {
+  name : string;
+  funcs : Func.t array;
+  outputs : int list;
+  consumers : int list array;  (* reverse edges, computed once *)
+}
+
+let name t = t.name
+let funcs t = t.funcs
+
+let func t id =
+  if id < 0 || id >= Array.length t.funcs then
+    invalid_arg "Pipeline.func: unknown id";
+  t.funcs.(id)
+
+let inputs t =
+  Array.to_list t.funcs |> List.filter Func.is_input
+
+let outputs t = t.outputs
+
+let stage_count t =
+  Array.fold_left
+    (fun acc f -> if Func.is_input f then acc else acc + 1)
+    0 t.funcs
+
+let consumers t id =
+  if id < 0 || id >= Array.length t.funcs then
+    invalid_arg "Pipeline.consumers: unknown id";
+  t.consumers.(id)
+
+let is_liveout t id = List.mem id t.outputs
+
+let compute_consumers funcs =
+  let n = Array.length funcs in
+  let rev = Array.make n [] in
+  Array.iter
+    (fun (f : Func.t) ->
+      List.iter (fun p -> rev.(p) <- f.id :: rev.(p)) (Func.producers f))
+    funcs;
+  Array.map List.rev rev
+
+let validate t =
+  let n = Array.length t.funcs in
+  Array.iteri
+    (fun i (f : Func.t) ->
+      if f.id <> i then invalid_arg "Pipeline.validate: non-dense ids";
+      Func.validate f;
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n then
+            invalid_arg (f.name ^ ": load from unknown stage");
+          if p >= i then
+            invalid_arg (f.name ^ ": load breaks topological order");
+          if (t.funcs.(p)).dims <> f.dims then
+            invalid_arg (f.name ^ ": rank mismatch with producer"))
+        (Func.producers f))
+    t.funcs;
+  if t.outputs = [] then invalid_arg "Pipeline.validate: no outputs";
+  List.iter
+    (fun o ->
+      if o < 0 || o >= n then invalid_arg "Pipeline.validate: bad output id";
+      if Func.is_input t.funcs.(o) then
+        invalid_arg "Pipeline.validate: output is an input")
+    t.outputs
+
+let pp fmt t =
+  let names id = (t.funcs.(id)).name in
+  Format.fprintf fmt "@[<v>pipeline %s (%d stages)@," t.name (stage_count t);
+  Array.iter (fun f -> Format.fprintf fmt "%a@," (Func.pp ~names) f) t.funcs;
+  Format.fprintf fmt "outputs: %s@]"
+    (String.concat ", " (List.map names t.outputs))
+
+type builder = {
+  b_name : string;
+  mutable rev_funcs : Func.t list;
+  mutable next_id : int;
+}
+
+let builder b_name = { b_name; rev_funcs = []; next_id = 0 }
+
+let add b mk =
+  let f = mk ~id:b.next_id in
+  if f.Func.id <> b.next_id then
+    invalid_arg "Pipeline.add: stage did not use the given id";
+  b.next_id <- b.next_id + 1;
+  b.rev_funcs <- f :: b.rev_funcs;
+  f
+
+let finish b ~outputs =
+  let funcs = Array.of_list (List.rev b.rev_funcs) in
+  let t =
+    { name = b.b_name;
+      funcs;
+      outputs = List.map (fun (f : Func.t) -> f.id) outputs;
+      consumers = compute_consumers funcs }
+  in
+  validate t;
+  t

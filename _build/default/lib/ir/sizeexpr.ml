@@ -1,0 +1,74 @@
+type t = { num : int; den : int; off : int }
+
+let is_pow2 d = d > 0 && d land (d - 1) = 0
+
+let make ~num ~den ~off =
+  if not (is_pow2 den) then
+    invalid_arg "Sizeexpr.make: denominator must be a positive power of two";
+  if num < 0 then invalid_arg "Sizeexpr.make: negative numerator";
+  if num = 0 then { num = 0; den = 1; off }
+  else begin
+    (* normalize common powers of two out of num/den *)
+    let rec reduce num den =
+      if num mod 2 = 0 && den mod 2 = 0 then reduce (num / 2) (den / 2)
+      else (num, den)
+    in
+    let num, den = reduce num den in
+    { num; den; off }
+  end
+
+let const off = { num = 0; den = 1; off }
+let n = { num = 1; den = 1; off = 0 }
+let n_over d = make ~num:1 ~den:d ~off:0
+let add_const t c = { t with off = t.off + c }
+
+let halve t =
+  if t.num = 0 then begin
+    if t.off mod 2 <> 0 then invalid_arg "Sizeexpr.halve: odd constant";
+    const (t.off / 2)
+  end
+  else begin
+    if t.off mod 2 <> 0 then invalid_arg "Sizeexpr.halve: odd offset";
+    make ~num:t.num ~den:(t.den * 2) ~off:(t.off / 2)
+  end
+
+let double t =
+  if t.num = 0 then const (t.off * 2)
+  else if t.den > 1 then make ~num:t.num ~den:(t.den / 2) ~off:(t.off * 2)
+  else make ~num:(t.num * 2) ~den:1 ~off:(t.off * 2)
+
+let coarsen t =
+  if (t.off - 1) mod 2 <> 0 then invalid_arg "Sizeexpr.coarsen: even offset";
+  if t.num = 0 then const ((t.off - 1) / 2)
+  else make ~num:t.num ~den:(t.den * 2) ~off:((t.off - 1) / 2)
+
+let refine t = add_const (double t) 1
+
+let eval ~n t =
+  if t.num <> 0 && n mod t.den <> 0 then
+    invalid_arg
+      (Printf.sprintf "Sizeexpr.eval: N=%d not divisible by %d" n t.den);
+  (t.num * n / t.den) + t.off
+
+let is_const t = t.num = 0
+let same_class a b = a.num = b.num && a.den = b.den
+let equal a b = a.num = b.num && a.den = b.den && a.off = b.off
+
+let compare a b =
+  match Int.compare a.num b.num with
+  | 0 -> ( match Int.compare a.den b.den with
+           | 0 -> Int.compare a.off b.off
+           | c -> c )
+  | c -> c
+
+let pp fmt t =
+  if t.num = 0 then Format.fprintf fmt "%d" t.off
+  else begin
+    if t.num = 1 && t.den = 1 then Format.fprintf fmt "N"
+    else if t.num = 1 then Format.fprintf fmt "N/%d" t.den
+    else Format.fprintf fmt "%d*N/%d" t.num t.den;
+    if t.off > 0 then Format.fprintf fmt "+%d" t.off
+    else if t.off < 0 then Format.fprintf fmt "%d" t.off
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,53 @@
+(** Symbolic grid sizes, affine in the problem-size parameter [N].
+
+    Multigrid pipelines are parametric in the finest interior size [N]; a
+    grid at coarsening level [k] has size [N/2^k].  A size expression
+    denotes [num*N/den + off] with integer floor division, where [den] is a
+    power of two.  This tiny symbolic form is all the "polyhedral"
+    parametric machinery GMG needs: it classifies full arrays for
+    inter-group storage reuse (same [num]/[den] ⇒ same storage class,
+    differing only by a constant offset; paper §3.2.2). *)
+
+type t = private { num : int; den : int; off : int }
+
+val const : int -> t
+(** A size not depending on [N]. *)
+
+val n : t
+(** The parameter [N] itself. *)
+
+val n_over : int -> t
+(** [n_over d] is [N/d]; [d] must be a positive power of two. *)
+
+val make : num:int -> den:int -> off:int -> t
+
+val add_const : t -> int -> t
+
+val halve : t -> t
+(** [halve s] is [num*N/(2*den) + off/2]. Only valid when [off] is even. *)
+
+val double : t -> t
+(** [double s] is [2*s]. *)
+
+val coarsen : t -> t
+(** [coarsen s] is [(s - 1)/2], the interior size one multigrid level down
+    for vertex-centred grids (finest interior [N-1], coarser [N/2-1], ...).
+    Requires [off] odd so the division is exact. *)
+
+val refine : t -> t
+(** [refine s] is [2*s + 1], inverse of {!coarsen}. *)
+
+val eval : n:int -> t -> int
+(** Concrete value for a given [N]. Requires [n] divisible by [den]. *)
+
+val is_const : t -> bool
+
+val same_class : t -> t -> bool
+(** True when two sizes differ only in their constant offset (they depend on
+    [N] through the same coefficient), i.e. they belong to the same storage
+    class per §3.2.2; constants are only in class with constants. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

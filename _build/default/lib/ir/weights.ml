@@ -1,0 +1,85 @@
+type t = {
+  dims : int;
+  extent : int array;
+  center : int array;
+  entries : (int array * float) list;  (* absolute tensor indices *)
+}
+
+let default_center extent = Array.map (fun m -> m / 2) extent
+
+let check_center ~dims ~extent = function
+  | None -> default_center extent
+  | Some c ->
+    if Array.length c <> dims then
+      invalid_arg "Weights: centre rank mismatch";
+    Array.iteri
+      (fun k ck ->
+        if ck < 0 || ck >= extent.(k) then
+          invalid_arg "Weights: centre outside tensor")
+      c;
+    Array.copy c
+
+let w1 ?center w =
+  let extent = [| Array.length w |] in
+  if extent.(0) = 0 then invalid_arg "Weights.w1: empty";
+  let entries = ref [] in
+  Array.iteri (fun i v -> entries := ([| i |], v) :: !entries) w;
+  { dims = 1; extent; center = check_center ~dims:1 ~extent center;
+    entries = List.rev !entries }
+
+let w2 ?center w =
+  let rows = Array.length w in
+  if rows = 0 then invalid_arg "Weights.w2: empty";
+  let cols = Array.length w.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Weights.w2: ragged")
+    w;
+  let extent = [| rows; cols |] in
+  let entries = ref [] in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> entries := ([| i; j |], v) :: !entries) row)
+    w;
+  { dims = 2; extent; center = check_center ~dims:2 ~extent center;
+    entries = List.rev !entries }
+
+let w3 ?center w =
+  let np = Array.length w in
+  if np = 0 then invalid_arg "Weights.w3: empty";
+  let nr = Array.length w.(0) in
+  let nc = if nr = 0 then invalid_arg "Weights.w3: empty plane"
+           else Array.length w.(0).(0) in
+  Array.iter
+    (fun plane ->
+      if Array.length plane <> nr then invalid_arg "Weights.w3: ragged";
+      Array.iter
+        (fun row -> if Array.length row <> nc then invalid_arg "Weights.w3: ragged")
+        plane)
+    w;
+  let extent = [| np; nr; nc |] in
+  let entries = ref [] in
+  Array.iteri
+    (fun i plane ->
+      Array.iteri
+        (fun j row ->
+          Array.iteri (fun k v -> entries := ([| i; j; k |], v) :: !entries) row)
+        plane)
+    w;
+  { dims = 3; extent; center = check_center ~dims:3 ~extent center;
+    entries = List.rev !entries }
+
+let dims t = t.dims
+let extent t = Array.copy t.extent
+let center t = Array.copy t.center
+
+let terms t =
+  List.filter_map
+    (fun (idx, v) ->
+      if v = 0.0 then None
+      else Some (Array.mapi (fun k i -> i - t.center.(k)) idx, v))
+    t.entries
+
+let radius t =
+  List.fold_left
+    (fun acc (off, _) ->
+      Array.fold_left (fun a o -> Int.max a (Int.abs o)) acc off)
+    0 (terms t)

@@ -1,0 +1,27 @@
+(** Stencil weight tensors — the literal-list argument of the paper's
+    [Stencil] construct, for 1-D, 2-D and 3-D kernels.
+
+    The stencil centre defaults to the element at index [m/2] in each
+    dimension (paper §2); a custom centre can be supplied. *)
+
+type t
+
+val w1 : ?center:int array -> float array -> t
+val w2 : ?center:int array -> float array array -> t
+(** @raise Invalid_argument if rows are ragged. *)
+
+val w3 : ?center:int array -> float array array array -> t
+
+val dims : t -> int
+
+val extent : t -> int array
+(** Tensor shape per dimension. *)
+
+val center : t -> int array
+
+val terms : t -> (int array * float) list
+(** Non-zero entries as (offset-from-centre, weight) pairs, in row-major
+    order of the tensor. *)
+
+val radius : t -> int
+(** Largest absolute offset over all dimensions — the stencil halo width. *)

@@ -1,0 +1,1 @@
+lib/mg/cycle.ml: Array Dsl Expr Func List Pipeline Printf Repro_ir Sizeexpr Stencils String

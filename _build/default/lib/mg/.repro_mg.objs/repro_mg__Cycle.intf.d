@@ -1,0 +1,1 @@
+lib/mg/cycle.mli: Repro_ir

@@ -1,0 +1,1 @@
+lib/mg/handopt.ml: Array Cycle Kernels Repro_grid Repro_poly Repro_runtime

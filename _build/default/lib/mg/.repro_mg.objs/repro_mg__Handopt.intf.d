@@ -1,0 +1,1 @@
+lib/mg/handopt.mli: Cycle Repro_runtime Solver

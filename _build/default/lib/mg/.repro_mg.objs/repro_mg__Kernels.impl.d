@@ -1,0 +1,1 @@
+lib/mg/kernels.ml: Bigarray List Repro_grid

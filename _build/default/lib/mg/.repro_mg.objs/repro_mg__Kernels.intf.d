@@ -1,0 +1,1 @@
+lib/mg/kernels.mli: Repro_grid

@@ -1,0 +1,1 @@
+lib/mg/krylov.ml: Bigarray Cycle List Problem Repro_grid Solver Verify

@@ -1,0 +1,1 @@
+lib/mg/krylov.mli: Cycle Problem Repro_core Repro_grid

@@ -1,0 +1,1 @@
+lib/mg/problem.ml: Array Random Repro_grid

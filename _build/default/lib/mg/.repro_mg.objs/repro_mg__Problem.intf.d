@@ -1,0 +1,1 @@
+lib/mg/problem.mli: Repro_grid

@@ -1,0 +1,1 @@
+lib/mg/solver.ml: Cycle Exec Float List Plan Problem Repro_core Repro_grid Unix Verify

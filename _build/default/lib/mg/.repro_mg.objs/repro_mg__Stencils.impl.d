@@ -1,0 +1,1 @@
+lib/mg/stencils.ml: Array Dsl Expr Func Repro_ir Weights

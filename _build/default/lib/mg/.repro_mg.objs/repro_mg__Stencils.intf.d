@@ -1,0 +1,1 @@
+lib/mg/stencils.mli: Repro_ir

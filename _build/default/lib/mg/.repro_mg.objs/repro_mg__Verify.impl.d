@@ -1,0 +1,1 @@
+lib/mg/verify.ml: Repro_grid

@@ -1,0 +1,1 @@
+lib/mg/verify.mli: Repro_grid

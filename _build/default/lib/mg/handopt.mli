@@ -1,0 +1,22 @@
+(** Hand-optimized multigrid baselines (§4.1).
+
+    [`Plain`] is the paper's {e handopt}: explicit loop parallelization
+    over the outer dimension, storage reuse via two modulo buffers per
+    level, and persistent (pooled) allocation of all level arrays across
+    cycles.  [`Pluto`] is {e handopt+pluto}: the same code with the
+    pre/post/coarse smoothing sequences executed under the diamond
+    time-tiling schedule of {!Repro_poly.Diamond}. *)
+
+type smoothing = Plain | Pluto of { sigma : int }
+
+type t
+
+val create :
+  Cycle.config -> n:int -> par:Repro_runtime.Parallel.t ->
+  ?smoothing:smoothing -> unit -> t
+(** Allocates all level arrays once (the baseline's pooled allocation).
+    F-cycles are not supported by the hand implementations. *)
+
+val stepper : t -> Solver.stepper
+(** One multigrid cycle.  The input iterate grid is read-only; the new
+    iterate is written to [out]. *)

@@ -1,0 +1,255 @@
+type buf = Repro_grid.Buf.data
+
+
+(* ------------------------------------------------------------------ *)
+(* 2-D: extent n+2, row stride n+2                                      *)
+
+let jacobi2d ~n ~w ~invhsq ~(src : buf) ~(frhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  for i = rlo to rhi do
+    let r = i * s in
+    for j = 1 to n do
+      let c = Bigarray.Array1.unsafe_get src (r + j) in
+      let a =
+        invhsq
+        *. ((4.0 *. c) -. Bigarray.Array1.unsafe_get src (r + j - s) -. Bigarray.Array1.unsafe_get src (r + j + s)
+            -. Bigarray.Array1.unsafe_get src (r + j - 1)
+            -. Bigarray.Array1.unsafe_get src (r + j + 1))
+      in
+      Bigarray.Array1.unsafe_set dst (r + j) (c -. (w *. (a -. Bigarray.Array1.unsafe_get frhs (r + j))))
+    done
+  done
+
+let scalef2d ~n ~w ~(frhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  for i = rlo to rhi do
+    let r = i * s in
+    for j = 1 to n do
+      Bigarray.Array1.unsafe_set dst (r + j) (w *. Bigarray.Array1.unsafe_get frhs (r + j))
+    done
+  done
+
+let resid2d ~n ~invhsq ~(v : buf) ~(frhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  for i = rlo to rhi do
+    let r = i * s in
+    for j = 1 to n do
+      let a =
+        invhsq
+        *. ((4.0 *. Bigarray.Array1.unsafe_get v (r + j)) -. Bigarray.Array1.unsafe_get v (r + j - s) -. Bigarray.Array1.unsafe_get v (r + j + s)
+            -. Bigarray.Array1.unsafe_get v (r + j - 1)
+            -. Bigarray.Array1.unsafe_get v (r + j + 1))
+      in
+      Bigarray.Array1.unsafe_set dst (r + j) (Bigarray.Array1.unsafe_get frhs (r + j) -. a)
+    done
+  done
+
+let restrict2d ~nc ~(fine : buf) ~(dst : buf) ~rlo ~rhi =
+  let nf = (2 * nc) + 1 in
+  let sf = nf + 2 and sc = nc + 2 in
+  for i = rlo to rhi do
+    let fi = 2 * i in
+    let rc = i * sc in
+    for j = 1 to nc do
+      let fj = 2 * j in
+      let c = (fi * sf) + fj in
+      let v =
+        (4.0 *. Bigarray.Array1.unsafe_get fine c)
+        +. (2.0
+            *. (Bigarray.Array1.unsafe_get fine (c - 1) +. Bigarray.Array1.unsafe_get fine (c + 1) +. Bigarray.Array1.unsafe_get fine (c - sf)
+                +. Bigarray.Array1.unsafe_get fine (c + sf)))
+        +. Bigarray.Array1.unsafe_get fine (c - sf - 1)
+        +. Bigarray.Array1.unsafe_get fine (c - sf + 1)
+        +. Bigarray.Array1.unsafe_get fine (c + sf - 1)
+        +. Bigarray.Array1.unsafe_get fine (c + sf + 1)
+      in
+      Bigarray.Array1.unsafe_set dst (rc + j) (v /. 16.0)
+    done
+  done
+
+(* Bilinear interpolation + correction: coarse point (i,j) contributes to
+   fine points (2i,2j), (2i±1, 2j), (2i, 2j±1), ...  Implemented per
+   coarse row r updating fine rows 2r and 2r+1, which keeps ownership of
+   fine rows disjoint across coarse rows: fine row 2r gets contributions
+   from coarse rows r only (even row), fine row 2r+1 from rows r and r+1 —
+   so we update fine row 2r (injection along i) and fine row 2r+1
+   (averaged between coarse rows r and r+1, where row nc+1 is ghost 0). *)
+let interp_correct2d ~nc ~(coarse : buf) ~(v : buf) ~rlo ~rhi =
+  let nf = (2 * nc) + 1 in
+  let sf = nf + 2 and sc = nc + 2 in
+  for i = rlo to rhi do
+    let rc = i * sc in
+    (* fine row 2i (skip i = 0: fine row 0 is a ghost row):
+       e(2i, 2j) = E(i,j); e(2i, 2j±1) averages in j *)
+    if i >= 1 then begin
+      let rf = 2 * i * sf in
+      for j = 1 to nc do
+        let e = Bigarray.Array1.unsafe_get coarse (rc + j) in
+        let fj = 2 * j in
+        Bigarray.Array1.unsafe_set v (rf + fj) (Bigarray.Array1.unsafe_get v (rf + fj) +. e);
+        let l = rf + fj - 1 in
+        Bigarray.Array1.unsafe_set v l (Bigarray.Array1.unsafe_get v l +. (0.5 *. e));
+        let r = rf + fj + 1 in
+        Bigarray.Array1.unsafe_set v r (Bigarray.Array1.unsafe_get v r +. (0.5 *. e))
+      done
+    end;
+    (* fine row 2i+1: averages between coarse rows i and i+1 *)
+    let rf = ((2 * i) + 1) * sf in
+    for j = 1 to nc do
+      let e = 0.5 *. (Bigarray.Array1.unsafe_get coarse (rc + j) +. Bigarray.Array1.unsafe_get coarse (rc + sc + j)) in
+      let fj = 2 * j in
+      Bigarray.Array1.unsafe_set v (rf + fj) (Bigarray.Array1.unsafe_get v (rf + fj) +. e);
+      let l = rf + fj - 1 in
+      Bigarray.Array1.unsafe_set v l (Bigarray.Array1.unsafe_get v l +. (0.5 *. e));
+      let r = rf + fj + 1 in
+      Bigarray.Array1.unsafe_set v r (Bigarray.Array1.unsafe_get v r +. (0.5 *. e))
+    done
+  done
+
+let copy2d ~n ~(src : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  for i = rlo to rhi do
+    let r = i * s in
+    for j = 1 to n do
+      Bigarray.Array1.unsafe_set dst (r + j) (Bigarray.Array1.unsafe_get src (r + j))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 3-D: extent n+2 per dim                                              *)
+
+let jacobi3d ~n ~w ~invhsq ~(src : buf) ~(frhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  let sp = s * s in
+  for i = rlo to rhi do
+    for j = 1 to n do
+      let r = (i * sp) + (j * s) in
+      for k = 1 to n do
+        let c = Bigarray.Array1.unsafe_get src (r + k) in
+        let a =
+          invhsq
+          *. ((6.0 *. c) -. Bigarray.Array1.unsafe_get src (r + k - sp) -. Bigarray.Array1.unsafe_get src (r + k + sp)
+              -. Bigarray.Array1.unsafe_get src (r + k - s)
+              -. Bigarray.Array1.unsafe_get src (r + k + s)
+              -. Bigarray.Array1.unsafe_get src (r + k - 1)
+              -. Bigarray.Array1.unsafe_get src (r + k + 1))
+        in
+        Bigarray.Array1.unsafe_set dst (r + k) (c -. (w *. (a -. Bigarray.Array1.unsafe_get frhs (r + k))))
+      done
+    done
+  done
+
+let scalef3d ~n ~w ~(frhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  let sp = s * s in
+  for i = rlo to rhi do
+    for j = 1 to n do
+      let r = (i * sp) + (j * s) in
+      for k = 1 to n do
+        Bigarray.Array1.unsafe_set dst (r + k) (w *. Bigarray.Array1.unsafe_get frhs (r + k))
+      done
+    done
+  done
+
+let resid3d ~n ~invhsq ~(v : buf) ~(frhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  let sp = s * s in
+  for i = rlo to rhi do
+    for j = 1 to n do
+      let r = (i * sp) + (j * s) in
+      for k = 1 to n do
+        let a =
+          invhsq
+          *. ((6.0 *. Bigarray.Array1.unsafe_get v (r + k)) -. Bigarray.Array1.unsafe_get v (r + k - sp)
+              -. Bigarray.Array1.unsafe_get v (r + k + sp)
+              -. Bigarray.Array1.unsafe_get v (r + k - s)
+              -. Bigarray.Array1.unsafe_get v (r + k + s)
+              -. Bigarray.Array1.unsafe_get v (r + k - 1)
+              -. Bigarray.Array1.unsafe_get v (r + k + 1))
+        in
+        Bigarray.Array1.unsafe_set dst (r + k) (Bigarray.Array1.unsafe_get frhs (r + k) -. a)
+      done
+    done
+  done
+
+let restrict3d ~nc ~(fine : buf) ~(dst : buf) ~rlo ~rhi =
+  let nf = (2 * nc) + 1 in
+  let sf = nf + 2 and sc = nc + 2 in
+  let spf = sf * sf and spc = sc * sc in
+  (* tensor-product [1;2;1]/4 weights, overall /64 *)
+  for i = rlo to rhi do
+    for j = 1 to nc do
+      let rc = (i * spc) + (j * sc) in
+      for k = 1 to nc do
+        let c = (2 * i * spf) + (2 * j * sf) + (2 * k) in
+        let acc = ref 0.0 in
+        for di = -1 to 1 do
+          let wi = if di = 0 then 2.0 else 1.0 in
+          for dj = -1 to 1 do
+            let wj = if dj = 0 then 2.0 else 1.0 in
+            let base = c + (di * spf) + (dj * sf) in
+            acc :=
+              !acc
+              +. (wi *. wj
+                  *. ((Bigarray.Array1.unsafe_get fine (base - 1) +. (2.0 *. Bigarray.Array1.unsafe_get fine base)
+                       +. Bigarray.Array1.unsafe_get fine (base + 1))))
+          done
+        done;
+        Bigarray.Array1.unsafe_set dst (rc + k) (!acc /. 64.0)
+      done
+    done
+  done
+
+let interp_correct3d ~nc ~(coarse : buf) ~(v : buf) ~rlo ~rhi =
+  let nf = (2 * nc) + 1 in
+  let sf = nf + 2 and sc = nc + 2 in
+  let spf = sf * sf and spc = sc * sc in
+  (* For each fine point, gather from the (up to 8) surrounding coarse
+     points with trilinear weights; iterate over coarse i-slabs so plane
+     ownership is disjoint (fine planes 2i and 2i+1 per coarse i). *)
+  let cval ci cj ck =
+    if ci < 0 || ci > nc + 1 || cj < 0 || cj > nc + 1 || ck < 0 || ck > nc + 1
+    then 0.0
+    else Bigarray.Array1.unsafe_get coarse ((ci * spc) + (cj * sc) + ck)
+  in
+  for i = rlo to rhi do
+    (* fine planes 2i and 2i+1 *)
+    List.iter
+      (fun fi ->
+        if fi >= 1 && fi <= nf then
+          for fj = 1 to nf do
+            for fk = 1 to nf do
+              let e = ref 0.0 in
+              let half_i = fi land 1 = 1
+              and half_j = fj land 1 = 1
+              and half_k = fk land 1 = 1 in
+              let i0 = fi / 2 and j0 = fj / 2 and k0 = fk / 2 in
+              let add w ci cj ck = e := !e +. (w *. cval ci cj ck) in
+              let wi = if half_i then [ (0.5, i0); (0.5, i0 + 1) ] else [ (1.0, i0) ] in
+              let wj = if half_j then [ (0.5, j0); (0.5, j0 + 1) ] else [ (1.0, j0) ] in
+              let wk = if half_k then [ (0.5, k0); (0.5, k0 + 1) ] else [ (1.0, k0) ] in
+              List.iter
+                (fun (wa, ci) ->
+                  List.iter
+                    (fun (wb, cj) ->
+                      List.iter (fun (wc, ck) -> add (wa *. wb *. wc) ci cj ck) wk)
+                    wj)
+                wi;
+              let idx = (fi * spf) + (fj * sf) + fk in
+              Bigarray.Array1.unsafe_set v idx (Bigarray.Array1.unsafe_get v idx +. !e)
+            done
+          done)
+      [ 2 * i; (2 * i) + 1 ]
+  done
+
+let copy3d ~n ~(src : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  let sp = s * s in
+  for i = rlo to rhi do
+    for j = 1 to n do
+      let r = (i * sp) + (j * s) in
+      for k = 1 to n do
+        Bigarray.Array1.unsafe_set dst (r + k) (Bigarray.Array1.unsafe_get src (r + k))
+      done
+    done
+  done

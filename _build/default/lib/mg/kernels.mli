@@ -1,0 +1,58 @@
+(** Hand-written grid kernels used by the hand-optimized baselines.
+
+    These deliberately bypass the DSL/compiler machinery: they are the
+    OCaml equivalent of the reference C code of Ghysels & Vanroose that
+    the paper compares against (explicit loops over raw buffers, row-range
+    parametrized so callers can parallelize over the outer dimension).
+
+    All buffers are dense row-major with one ghost layer: a grid of
+    interior size [n] has extent [n+2] per dimension.  Kernels write
+    interior points only; ghost cells are expected to stay at the
+    boundary value. *)
+
+type buf = Repro_grid.Buf.data
+
+(** {2 2-D kernels} (row range [rlo..rhi] over the first dimension) *)
+
+val jacobi2d :
+  n:int -> w:float -> invhsq:float -> src:buf -> frhs:buf -> dst:buf ->
+  rlo:int -> rhi:int -> unit
+(** [dst ← src − w·(invhsq·(4·src − neighbours) − f)]. *)
+
+val scalef2d : n:int -> w:float -> frhs:buf -> dst:buf -> rlo:int -> rhi:int -> unit
+(** [dst ← w·f] — the first Jacobi step from a zero iterate. *)
+
+val resid2d :
+  n:int -> invhsq:float -> v:buf -> frhs:buf -> dst:buf -> rlo:int ->
+  rhi:int -> unit
+(** [dst ← f − A·v]. *)
+
+val restrict2d : nc:int -> fine:buf -> dst:buf -> rlo:int -> rhi:int -> unit
+(** Full weighting; [nc] is the coarse interior size; fine has interior
+    [2·nc+1]; rows are coarse rows. *)
+
+val interp_correct2d : nc:int -> coarse:buf -> v:buf -> rlo:int -> rhi:int -> unit
+(** [v += P·coarse] (bilinear), fused interpolation + correction.  Rows are
+    coarse row indices in [0..nc]: row [r] exclusively updates fine rows
+    [2r] (skipped for [r = 0], a ghost) and [2r+1], so disjoint row ranges
+    may run in parallel. *)
+
+val copy2d : n:int -> src:buf -> dst:buf -> rlo:int -> rhi:int -> unit
+
+(** {2 3-D kernels} (plane range [rlo..rhi] over the first dimension) *)
+
+val jacobi3d :
+  n:int -> w:float -> invhsq:float -> src:buf -> frhs:buf -> dst:buf ->
+  rlo:int -> rhi:int -> unit
+
+val scalef3d : n:int -> w:float -> frhs:buf -> dst:buf -> rlo:int -> rhi:int -> unit
+
+val resid3d :
+  n:int -> invhsq:float -> v:buf -> frhs:buf -> dst:buf -> rlo:int ->
+  rhi:int -> unit
+
+val restrict3d : nc:int -> fine:buf -> dst:buf -> rlo:int -> rhi:int -> unit
+
+val interp_correct3d : nc:int -> coarse:buf -> v:buf -> rlo:int -> rhi:int -> unit
+
+val copy3d : n:int -> src:buf -> dst:buf -> rlo:int -> rhi:int -> unit

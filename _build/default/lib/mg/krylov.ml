@@ -1,0 +1,101 @@
+module Buf = Repro_grid.Buf
+module Grid = Repro_grid.Grid
+
+type result = {
+  iterations : int;
+  converged : bool;
+  residuals : float list;
+  v : Grid.t;
+}
+
+type preconditioner = r:Grid.t -> z:Grid.t -> unit
+
+(* Whole-buffer vector operations.  All PCG vectors keep zero ghost
+   layers, so folding over the entire buffer (ghosts included) is exact
+   and contiguous. *)
+
+let dot (a : Grid.t) (b : Grid.t) =
+  let x = a.Grid.buf.Buf.data and y = b.Grid.buf.Buf.data in
+  let n = Buf.len a.Grid.buf in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc
+      +. (Bigarray.Array1.unsafe_get x i *. Bigarray.Array1.unsafe_get y i)
+  done;
+  !acc
+
+(* y <- y + alpha * x *)
+let axpy alpha (x : Grid.t) (y : Grid.t) =
+  let xv = x.Grid.buf.Buf.data and yv = y.Grid.buf.Buf.data in
+  for i = 0 to Buf.len x.Grid.buf - 1 do
+    Bigarray.Array1.unsafe_set yv i
+      (Bigarray.Array1.unsafe_get yv i
+       +. (alpha *. Bigarray.Array1.unsafe_get xv i))
+  done
+
+(* p <- z + beta * p *)
+let xpby (z : Grid.t) beta (p : Grid.t) =
+  let zv = z.Grid.buf.Buf.data and pv = p.Grid.buf.Buf.data in
+  for i = 0 to Buf.len p.Grid.buf - 1 do
+    Bigarray.Array1.unsafe_set pv i
+      (Bigarray.Array1.unsafe_get zv i
+       +. (beta *. Bigarray.Array1.unsafe_get pv i))
+  done
+
+let identity_precond ~r ~z = Grid.blit ~src:r ~dst:z
+
+let mg_precond cfg ~n ~opts ~rt =
+  let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+  let dims = cfg.Cycle.dims in
+  let zero = Grid.interior ~dims (n - 1) in
+  fun ~r ~z ->
+    Grid.fill zero 0.0;
+    stepper ~v:zero ~f:r ~out:z
+
+let pcg ~(problem : Problem.t) ~precond ~tol ~max_iter =
+  if max_iter < 1 then invalid_arg "Krylov.pcg: max_iter must be >= 1";
+  let n = problem.Problem.n in
+  let shape = Grid.extents problem.Problem.v in
+  let v = Grid.copy problem.Problem.v in
+  let r = Grid.copy problem.Problem.f in
+  (* r <- f - A v (v is typically zero) *)
+  let av = Grid.create shape in
+  Verify.apply_poisson ~n ~v ~out:av;
+  axpy (-1.0) av r;
+  let z = Grid.create shape in
+  precond ~r ~z;
+  let p = Grid.copy z in
+  let ap = Grid.create shape in
+  let rz = ref (dot r z) in
+  let norm_f = sqrt (dot problem.Problem.f problem.Problem.f) in
+  let norm_f = if norm_f = 0.0 then 1.0 else norm_f in
+  let residuals = ref [] in
+  let converged = ref false in
+  let iters = ref 0 in
+  (try
+     for it = 1 to max_iter do
+       iters := it;
+       Verify.apply_poisson ~n ~v:p ~out:ap;
+       let pap = dot p ap in
+       if pap <= 0.0 then raise Exit;  (* breakdown / non-SPD precond *)
+       let alpha = !rz /. pap in
+       axpy alpha p v;
+       axpy (-.alpha) ap r;
+       let rel = sqrt (dot r r) /. norm_f in
+       residuals := rel :: !residuals;
+       if rel < tol then begin
+         converged := true;
+         raise Exit
+       end;
+       precond ~r ~z;
+       let rz' = dot r z in
+       let beta = rz' /. !rz in
+       rz := rz';
+       xpby z beta p
+     done
+   with Exit -> ());
+  { iterations = !iters;
+    converged = !converged;
+    residuals = List.rev !residuals;
+    v }

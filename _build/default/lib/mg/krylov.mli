@@ -1,0 +1,29 @@
+(** Preconditioned conjugate gradients for the Poisson operator, with
+    multigrid cycles as preconditioners — the second standard way
+    multigrid is deployed (paper §1: "multigrid algorithms can be used
+    either as direct solvers or as pre-conditioners for Krylov
+    solvers"). *)
+
+type result = {
+  iterations : int;  (** iterations actually performed *)
+  converged : bool;
+  residuals : float list;  (** relative residual after each iteration *)
+  v : Repro_grid.Grid.t;  (** final iterate *)
+}
+
+type preconditioner = r:Repro_grid.Grid.t -> z:Repro_grid.Grid.t -> unit
+(** Applies [z ← M⁻¹ r]; must be (close to) symmetric positive definite. *)
+
+val identity_precond : preconditioner
+(** [z ← r]: plain CG. *)
+
+val mg_precond :
+  Cycle.config -> n:int -> opts:Repro_core.Options.t ->
+  rt:Repro_core.Exec.runtime -> preconditioner
+(** One multigrid cycle from a zero initial iterate.  Use a symmetric
+    configuration ([n1 = n3]) so the preconditioner is SPD. *)
+
+val pcg :
+  problem:Problem.t -> precond:preconditioner -> tol:float ->
+  max_iter:int -> result
+(** Solves [A v = f] to a relative residual of [tol]. *)

@@ -1,0 +1,57 @@
+module Grid = Repro_grid.Grid
+open Repro_core
+
+type cycle_stats = {
+  cycle : int;
+  residual : float;
+  seconds : float;
+}
+
+type result = {
+  stats : cycle_stats list;
+  v : Grid.t;
+  total_seconds : float;
+}
+
+type stepper = v:Grid.t -> f:Grid.t -> out:Grid.t -> unit
+
+let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
+  if cycles < 1 then invalid_arg "Solver.iterate: cycles must be >= 1";
+  let cur = ref (Grid.copy problem.Problem.v) in
+  let next = ref (Grid.create (Grid.extents problem.Problem.v)) in
+  let stats = ref [] in
+  let total = ref 0.0 in
+  for c = 1 to cycles do
+    let t0 = Unix.gettimeofday () in
+    stepper ~v:!cur ~f:problem.Problem.f ~out:!next;
+    let dt = Unix.gettimeofday () -. t0 in
+    total := !total +. dt;
+    let tmp = !cur in
+    cur := !next;
+    next := tmp;
+    let residual =
+      if residuals then
+        Verify.residual_l2 ~n:problem.Problem.n ~v:!cur ~f:problem.Problem.f
+      else Float.nan
+    in
+    stats := { cycle = c; residual; seconds = dt } :: !stats
+  done;
+  { stats = List.rev !stats; v = !cur; total_seconds = !total }
+
+let polymg_stepper cfg ~n ~opts ~rt =
+  let pipeline = Cycle.build cfg in
+  let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+  let vin = Cycle.input_v pipeline in
+  let fin = Cycle.input_f pipeline in
+  let out = Cycle.output pipeline in
+  fun ~v ~f ~out:out_grid ->
+    Exec.run plan rt ~inputs:[ (vin, v); (fin, f) ]
+      ~outputs:[ (out, out_grid) ]
+
+let solve cfg ~n ~opts ?(domains = 1) ~cycles ?(residuals = true) () =
+  let rt = Exec.runtime ~domains () in
+  let problem = Problem.poisson ~dims:cfg.Cycle.dims ~n in
+  let stepper = polymg_stepper cfg ~n ~opts ~rt in
+  let result = iterate stepper ~problem ~cycles ~residuals () in
+  Exec.free_runtime rt;
+  result

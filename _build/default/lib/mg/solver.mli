@@ -1,0 +1,38 @@
+(** The outer multigrid driver: iterates cycles (the loop that is external
+    to the DSL, §2) over any cycle implementation — PolyMG plans or the
+    hand-optimized baselines — and records convergence and timing. *)
+
+type cycle_stats = {
+  cycle : int;  (** 1-based *)
+  residual : float;  (** L2 residual after the cycle; NaN if not computed *)
+  seconds : float;  (** wall time of the cycle execution alone *)
+}
+
+type result = {
+  stats : cycle_stats list;
+  v : Repro_grid.Grid.t;  (** final iterate *)
+  total_seconds : float;  (** time in cycle executions, excluding checks *)
+}
+
+type stepper = v:Repro_grid.Grid.t -> f:Repro_grid.Grid.t ->
+  out:Repro_grid.Grid.t -> unit
+(** One cycle: reads the iterate [v] and rhs [f], writes the new iterate. *)
+
+val iterate :
+  stepper -> problem:Problem.t -> cycles:int -> ?residuals:bool -> unit ->
+  result
+(** Runs [cycles] iterations, ping-ponging two iterate grids.
+    [residuals] (default true) computes the residual after each cycle with
+    {!Verify.residual_l2} (excluded from timings). *)
+
+val polymg_stepper :
+  Cycle.config -> n:int -> opts:Repro_core.Options.t -> rt:Repro_core.Exec.runtime ->
+  stepper
+(** Builds the pipeline, optimizes it into a plan once, and returns the
+    stepper that executes it. *)
+
+val solve :
+  Cycle.config -> n:int -> opts:Repro_core.Options.t ->
+  ?domains:int -> cycles:int -> ?residuals:bool -> unit -> result
+(** Convenience: fresh runtime + {!polymg_stepper} + {!iterate} on the
+    standard Poisson problem; tears the runtime down afterwards. *)

@@ -1,0 +1,39 @@
+open Repro_ir
+
+let laplacian ~dims =
+  match dims with
+  | 2 ->
+    Weights.w2 [| [| 0.; -1.; 0. |]; [| -1.; 4.; -1. |]; [| 0.; -1.; 0. |] |]
+  | 3 ->
+    let z = [| [| 0.; 0.; 0. |]; [| 0.; -1.; 0. |]; [| 0.; 0.; 0. |] |] in
+    let m = [| [| 0.; -1.; 0. |]; [| -1.; 6.; -1. |]; [| 0.; -1.; 0. |] |] in
+    Weights.w3 [| z; m; z |]
+  | _ -> invalid_arg "Stencils.laplacian: dims must be 2 or 3"
+
+let full_weighting ~dims =
+  let base = [| 1.0; 2.0; 1.0 |] in
+  match dims with
+  | 1 -> Weights.w1 (Array.map (fun a -> a /. 4.0) base)
+  | 2 ->
+    Weights.w2
+      (Array.map (fun a -> Array.map (fun b -> a *. b /. 16.0) base) base)
+  | 3 ->
+    Weights.w3
+      (Array.map
+         (fun a ->
+           Array.map (fun b -> Array.map (fun c -> a *. b *. c /. 64.0) base)
+             base)
+         base)
+  | _ -> invalid_arg "Stencils.full_weighting: dims must be 1, 2 or 3"
+
+let injection ~dims =
+  match dims with
+  | 1 -> Weights.w1 [| 1.0 |]
+  | 2 -> Weights.w2 [| [| 1.0 |] |]
+  | 3 -> Weights.w3 [| [| [| 1.0 |] |] |]
+  | _ -> invalid_arg "Stencils.injection: dims must be 1, 2 or 3"
+
+let jacobi ~dims ~(v : Func.t) ~(f : Func.t) ~invhsq ~weight =
+  let zero = Array.make dims 0 in
+  let av = Dsl.stencil v (laplacian ~dims) ~factor:invhsq () in
+  Expr.(load v.Func.id zero - (weight * (av - load f.Func.id zero)))

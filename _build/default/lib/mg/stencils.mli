@@ -1,0 +1,19 @@
+(** The standard stencil kernels of geometric multigrid, as weight
+    tensors for the DSL's [Stencil]/[Restrict] constructs. *)
+
+val laplacian : dims:int -> Repro_ir.Weights.t
+(** The operator [A = −∇²_h] without the [1/h²] factor: 5-point in 2D
+    ([[0,-1,0],[-1,4,-1],[0,-1,0]]), 7-point in 3D. *)
+
+val full_weighting : dims:int -> Repro_ir.Weights.t
+(** The d-dimensional tensor product of [[1;2;1]/4] — the default
+    restriction kernel (weights sum to 1). *)
+
+val injection : dims:int -> Repro_ir.Weights.t
+(** Pure injection: the centre point only. *)
+
+val jacobi :
+  dims:int -> v:Repro_ir.Func.t -> f:Repro_ir.Func.t ->
+  invhsq:Repro_ir.Expr.t -> weight:Repro_ir.Expr.t -> Repro_ir.Expr.t
+(** The weighted-Jacobi smoother body
+    [v − weight·(invhsq·A·v − f)] (Fig. 3's smoother definition). *)

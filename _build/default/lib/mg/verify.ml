@@ -1,0 +1,51 @@
+module Grid = Repro_grid.Grid
+
+let apply_poisson ~n ~v ~out =
+  let invhsq = float_of_int (n * n) in
+  match Grid.dims v with
+  | 2 ->
+    let sz = Grid.interior_size v in
+    for i = 1 to sz do
+      for j = 1 to sz do
+        let c = Grid.get2 v i j in
+        let s =
+          (4.0 *. c) -. Grid.get2 v (i - 1) j -. Grid.get2 v (i + 1) j
+          -. Grid.get2 v i (j - 1) -. Grid.get2 v i (j + 1)
+        in
+        Grid.set2 out i j (invhsq *. s)
+      done
+    done
+  | 3 ->
+    let sz = Grid.interior_size v in
+    for i = 1 to sz do
+      for j = 1 to sz do
+        for k = 1 to sz do
+          let c = Grid.get3 v i j k in
+          let s =
+            (6.0 *. c) -. Grid.get3 v (i - 1) j k -. Grid.get3 v (i + 1) j k
+            -. Grid.get3 v i (j - 1) k -. Grid.get3 v i (j + 1) k
+            -. Grid.get3 v i j (k - 1) -. Grid.get3 v i j (k + 1)
+          in
+          Grid.set3 out i j k (invhsq *. s)
+        done
+      done
+    done
+  | _ -> invalid_arg "Verify.apply_poisson: rank must be 2 or 3"
+
+let residual_l2 ~n ~v ~f =
+  let av = Grid.create (Grid.extents v) in
+  apply_poisson ~n ~v ~out:av;
+  let sum = ref 0.0 and count = ref 0 in
+  Grid.iter_interior f ~f:(fun idx fv ->
+      let r = fv -. Grid.get av idx in
+      sum := !sum +. (r *. r);
+      incr count);
+  if !count = 0 then 0.0 else sqrt (!sum /. float_of_int !count)
+
+let error_l2 ~v ~exact =
+  let sum = ref 0.0 and count = ref 0 in
+  Grid.iter_interior v ~f:(fun idx value ->
+      let e = value -. exact idx in
+      sum := !sum +. (e *. e);
+      incr count);
+  if !count = 0 then 0.0 else sqrt (!sum /. float_of_int !count)

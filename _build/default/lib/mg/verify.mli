@@ -1,0 +1,14 @@
+(** Independent numerical checks, written directly against grids (no DSL
+    machinery) so they validate the execution engine rather than share
+    code with it. *)
+
+val residual_l2 : n:int -> v:Repro_grid.Grid.t -> f:Repro_grid.Grid.t -> float
+(** L2 norm of [f − A_h v] for the Poisson operator [A = −∇²_h] at grid
+    spacing [h = 1/n]; rank taken from the grids (2 or 3). *)
+
+val error_l2 : v:Repro_grid.Grid.t -> exact:(int array -> float) -> float
+(** L2 norm of [v − exact] over interior points. *)
+
+val apply_poisson :
+  n:int -> v:Repro_grid.Grid.t -> out:Repro_grid.Grid.t -> unit
+(** [out ← A_h v] on the interior. *)

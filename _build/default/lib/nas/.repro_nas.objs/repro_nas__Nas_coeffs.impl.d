@@ -1,0 +1,1 @@
+lib/nas/nas_coeffs.ml: Array Repro_ir

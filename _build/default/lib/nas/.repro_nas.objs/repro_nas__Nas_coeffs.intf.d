@@ -1,0 +1,1 @@
+lib/nas/nas_coeffs.mli: Repro_ir

@@ -1,0 +1,1 @@
+lib/nas/nas_pipeline.ml: Array Dsl Expr Func List Nas_coeffs Pipeline Printf Repro_core Repro_ir Sizeexpr

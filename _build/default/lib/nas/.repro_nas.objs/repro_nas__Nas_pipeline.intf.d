@@ -1,0 +1,1 @@
+lib/nas/nas_pipeline.mli: Nas_coeffs Repro_core Repro_ir Repro_mg

@@ -1,0 +1,1 @@
+lib/nas/nas_problem.ml: Float Hashtbl Int Nas_coeffs Repro_grid

@@ -1,0 +1,1 @@
+lib/nas/nas_problem.mli: Nas_coeffs Repro_grid

@@ -1,0 +1,1 @@
+lib/nas/nas_ref.mli: Nas_coeffs Repro_grid Repro_mg Repro_runtime

@@ -1,0 +1,57 @@
+type cls = S | W | A | B | C | D
+
+let cls_of_string = function
+  | "S" | "s" -> Some S
+  | "W" | "w" -> Some W
+  | "A" | "a" -> Some A
+  | "B" | "b" -> Some B
+  | "C" | "c" -> Some C
+  | "D" | "d" -> Some D
+  | _ -> None
+
+let cls_name = function
+  | S -> "S" | W -> "W" | A -> "A" | B -> "B" | C -> "C" | D -> "D"
+
+(* NAS sizes are 32..1024; scaled for the simulated substrate. *)
+let problem_n = function
+  | S -> 16
+  | W -> 32
+  | A -> 64
+  | B -> 128
+  | C -> 256
+  | D -> 512
+
+let iterations = function
+  | S -> 4
+  | W -> 4
+  | A -> 4
+  | B -> 20
+  | C -> 20
+  | D -> 50
+
+let a = [| -8.0 /. 3.0; 0.0; 1.0 /. 6.0; 1.0 /. 12.0 |]
+
+let c = function
+  | S | W | A ->
+    [| -3.0 /. 8.0; 1.0 /. 32.0; -1.0 /. 64.0; 0.0 |]
+  | B | C | D ->
+    [| -3.0 /. 17.0; 1.0 /. 33.0; -1.0 /. 61.0; 0.0 |]
+
+let r = [| 0.5; 0.25; 0.125; 0.0625 |]
+
+let weights27 by_class =
+  if Array.length by_class <> 4 then
+    invalid_arg "Nas_coeffs.weights27: need 4 coefficients";
+  let plane di =
+    Array.init 3 (fun j ->
+        Array.init 3 (fun k ->
+            let d = abs di + abs (j - 1) + abs (k - 1) in
+            by_class.(d)))
+  in
+  Repro_ir.Weights.w3 [| plane 1; plane 0; plane 1 |]
+
+let levels_for n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Nas_coeffs.levels_for: n must be a power of two >= 2";
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m / 2) in
+  go 0 n

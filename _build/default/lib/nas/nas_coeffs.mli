@@ -1,0 +1,32 @@
+(** Stencil coefficients of the NAS MG benchmark (NPB 3.2, [mg.f]).
+
+    All NAS MG kernels are 27-point stencils whose weight depends only on
+    the taxicab distance class of the neighbour: 0 = centre, 1 = face,
+    2 = edge, 3 = corner. *)
+
+type cls = S | W | A | B | C | D
+
+val cls_of_string : string -> cls option
+val cls_name : cls -> string
+
+val problem_n : cls -> int
+(** The scaled grid parameter for this repo's substrate (power of two;
+    interior is [n−1]); see DESIGN.md for the scaling rationale. *)
+
+val iterations : cls -> int
+
+val a : float array
+(** The operator [A]: [-8/3, 0, 1/6, 1/12] by distance class. *)
+
+val c : cls -> float array
+(** The smoother [P ≈ A⁻¹]: class-dependent per the benchmark. *)
+
+val r : float array
+(** The restriction operator of [rprj3]: [1/2, 1/4, 1/8, 1/16]. *)
+
+val weights27 : float array -> Repro_ir.Weights.t
+(** Expands per-distance-class coefficients into the 3×3×3 tensor. *)
+
+val levels_for : int -> int
+(** Number of multigrid levels for grid parameter [n = 2^k] (down to a
+    coarsest interior of 1 point): [log2 n]. *)

@@ -1,0 +1,103 @@
+open Repro_ir
+
+(* interior size at NAS level j (1 = coarsest, lt = finest): n/2^(lt-j) − 1 *)
+let sizes_at ~lt j =
+  Array.make 3
+    (Sizeexpr.add_const (Sizeexpr.n_over (1 lsl (lt - j))) (-1))
+
+let zero3 = [| 0; 0; 0 |]
+
+let build ~cls =
+  let n = Nas_coeffs.problem_n cls in
+  let lt = Nas_coeffs.levels_for n in
+  let aw = Nas_coeffs.weights27 Nas_coeffs.a in
+  let cw = Nas_coeffs.weights27 (Nas_coeffs.c cls) in
+  let rw = Nas_coeffs.weights27 Nas_coeffs.r in
+  let ctx = Dsl.create (Printf.sprintf "NAS-MG-%s" (Nas_coeffs.cls_name cls)) in
+  let u = Dsl.grid ctx "U" ~dims:3 ~sizes:(sizes_at ~lt lt) in
+  let v = Dsl.grid ctx "V" ~dims:3 ~sizes:(sizes_at ~lt lt) in
+  (* r = v − A·u at the finest level *)
+  let resid ~name ~sizes ~rhs_load ~(iter : Func.t) =
+    Dsl.func ctx ~name ~sizes
+      Expr.(rhs_load - Dsl.stencil iter aw ())
+  in
+  let r_top =
+    resid ~name:"resid_top" ~sizes:(sizes_at ~lt lt)
+      ~rhs_load:(Expr.load v.Func.id zero3) ~iter:u
+  in
+  (* down: restrict the residual to every level *)
+  let rs = Array.make (lt + 1) r_top in
+  for j = lt - 1 downto 1 do
+    rs.(j) <-
+      Dsl.restrict_fn ctx
+        ~name:(Printf.sprintf "rprj3_L%d" j)
+        ~input:rs.(j + 1) ~weights:rw ()
+  done;
+  (* coarsest: u₁ = C·r₁ (psinv from a zero iterate) *)
+  let u1 =
+    Dsl.func ctx ~name:"psinv_L1" ~sizes:(sizes_at ~lt 1)
+      (Dsl.stencil rs.(1) cw ())
+  in
+  let cur = ref u1 in
+  for j = 2 to lt do
+    let e =
+      Dsl.interp_fn ctx ~name:(Printf.sprintf "interp_L%d" j) ~input:!cur ()
+    in
+    let base =
+      if j = lt then
+        Dsl.func ctx ~name:"correct_top" ~sizes:(sizes_at ~lt j)
+          Expr.(load u.Func.id zero3 + load e.Func.id zero3)
+      else e
+    in
+    let rhs_load =
+      if j = lt then Expr.load v.Func.id zero3
+      else Expr.load rs.(j).Func.id zero3
+    in
+    let r' =
+      resid ~name:(Printf.sprintf "resid_L%d" j) ~sizes:(sizes_at ~lt j)
+        ~rhs_load ~iter:base
+    in
+    let u' =
+      Dsl.func ctx
+        ~name:(Printf.sprintf "psinv_L%d" j)
+        ~sizes:(sizes_at ~lt j)
+        Expr.(load base.Func.id zero3 + Dsl.stencil r' cw ())
+    in
+    cur := u'
+  done;
+  Dsl.finish ctx ~outputs:[ !cur ]
+
+let params ~cls name =
+  ignore cls;
+  invalid_arg ("Nas_pipeline.params: unknown parameter " ^ name)
+
+let find_input pipeline name =
+  match
+    List.find_opt
+      (fun (f : Func.t) -> f.Func.name = name)
+      (Pipeline.inputs pipeline)
+  with
+  | Some f -> f.Func.id
+  | None -> invalid_arg ("Nas_pipeline: no input " ^ name)
+
+let input_u pipeline = find_input pipeline "U"
+let input_v pipeline = find_input pipeline "V"
+
+let output pipeline =
+  match Pipeline.outputs pipeline with
+  | [ o ] -> o
+  | [] | _ :: _ -> invalid_arg "Nas_pipeline.output: expected one output"
+
+let stepper ~cls ~opts ~rt =
+  let pipeline = build ~cls in
+  let n = Nas_coeffs.problem_n cls in
+  let plan =
+    Repro_core.Plan.build pipeline ~opts ~n ~params:(params ~cls)
+  in
+  let iu = input_u pipeline and iv = input_v pipeline in
+  let out = output pipeline in
+  fun ~v ~f ~out:out_grid ->
+    (* Solver convention: [v] is the iterate, [f] the rhs *)
+    Repro_core.Exec.run plan rt
+      ~inputs:[ (iu, v); (iv, f) ]
+      ~outputs:[ (out, out_grid) ]

@@ -1,0 +1,62 @@
+module Grid = Repro_grid.Grid
+
+(* NAS randlc: x_{k+1} = a * x_k mod 2^46, using the benchmark's split
+   arithmetic (exact in doubles). *)
+let r23 = 0.5 ** 23.0
+let r46 = r23 *. r23
+let t23 = 2.0 ** 23.0
+let t46 = t23 *. t23
+
+let randlc ~seed ~a =
+  let t1 = r23 *. a in
+  let a1 = Float.of_int (int_of_float t1) in
+  let a2 = a -. (t23 *. a1) in
+  let x = !seed in
+  let t1 = r23 *. x in
+  let x1 = Float.of_int (int_of_float t1) in
+  let x2 = x -. (t23 *. x1) in
+  let t1 = (a1 *. x2) +. (a2 *. x1) in
+  let t2 = Float.of_int (int_of_float (r23 *. t1)) in
+  let z = t1 -. (t23 *. t2) in
+  let t3 = (t23 *. z) +. (a2 *. x2) in
+  let t4 = Float.of_int (int_of_float (r46 *. t3)) in
+  let x' = t3 -. (t46 *. t4) in
+  seed := x';
+  r46 *. x'
+
+type t = {
+  n : int;
+  u : Grid.t;
+  v : Grid.t;
+}
+
+let setup ~cls =
+  let n = Nas_coeffs.problem_n cls in
+  let interior = n - 1 in
+  let u = Grid.interior ~dims:3 interior in
+  let v = Grid.interior ~dims:3 interior in
+  (* Draw 20 distinct interior positions from the NAS stream; the first
+     ten get -1, the last ten +1 (mirroring zran3's extrema placement). *)
+  let seed = ref 314159265.0 in
+  let a = 5.0 ** 13.0 in
+  let taken = Hashtbl.create 32 in
+  let draw () =
+    let rec go () =
+      let i = 1 + int_of_float (randlc ~seed ~a *. float_of_int interior) in
+      let j = 1 + int_of_float (randlc ~seed ~a *. float_of_int interior) in
+      let k = 1 + int_of_float (randlc ~seed ~a *. float_of_int interior) in
+      let i = Int.min i interior and j = Int.min j interior
+      and k = Int.min k interior in
+      if Hashtbl.mem taken (i, j, k) then go ()
+      else begin
+        Hashtbl.replace taken (i, j, k) ();
+        (i, j, k)
+      end
+    in
+    go ()
+  in
+  for idx = 0 to 19 do
+    let i, j, k = draw () in
+    Grid.set3 v i j k (if idx < 10 then -1.0 else 1.0)
+  done;
+  { n; u; v }

@@ -1,0 +1,18 @@
+(** NAS MG problem setup: the ±1 point-charge right-hand side generated
+    with the benchmark's own [randlc]/[vranlc] pseudo-random stream
+    (multiplicative LCG, [x' = 5^13·x mod 2^46]), adapted to non-periodic
+    boundaries (the paper's comparison setting). *)
+
+val randlc : seed:float ref -> a:float -> float
+(** One step of the NAS LCG; updates [seed] in place, returns a uniform
+    deviate in (0, 1). *)
+
+type t = {
+  n : int;
+  u : Repro_grid.Grid.t;  (** initial iterate (zero) *)
+  v : Repro_grid.Grid.t;  (** right-hand side: +1 at 10 points, −1 at 10 *)
+}
+
+val setup : cls:Nas_coeffs.cls -> t
+(** Grid of interior size [n−1] for the class's [n]; the charge positions
+    come from the NAS random stream over the interior. *)

@@ -1,0 +1,182 @@
+module Buf = Repro_grid.Buf
+module Grid = Repro_grid.Grid
+module Parallel = Repro_runtime.Parallel
+
+type buf = Buf.data
+
+
+(* 27-point gather by distance class around [idx]; [s] = row stride,
+   [sp] = plane stride. *)
+let gather27 (src : buf) ~idx ~s ~sp ~(co : float array) =
+  let center = Bigarray.Array1.unsafe_get src idx in
+  let face =
+    Bigarray.Array1.unsafe_get src (idx - 1) +. Bigarray.Array1.unsafe_get src (idx + 1) +. Bigarray.Array1.unsafe_get src (idx - s)
+    +. Bigarray.Array1.unsafe_get src (idx + s)
+    +. Bigarray.Array1.unsafe_get src (idx - sp)
+    +. Bigarray.Array1.unsafe_get src (idx + sp)
+  in
+  let edge =
+    Bigarray.Array1.unsafe_get src (idx - s - 1) +. Bigarray.Array1.unsafe_get src (idx - s + 1)
+    +. Bigarray.Array1.unsafe_get src (idx + s - 1)
+    +. Bigarray.Array1.unsafe_get src (idx + s + 1)
+    +. Bigarray.Array1.unsafe_get src (idx - sp - 1)
+    +. Bigarray.Array1.unsafe_get src (idx - sp + 1)
+    +. Bigarray.Array1.unsafe_get src (idx + sp - 1)
+    +. Bigarray.Array1.unsafe_get src (idx + sp + 1)
+    +. Bigarray.Array1.unsafe_get src (idx - sp - s)
+    +. Bigarray.Array1.unsafe_get src (idx - sp + s)
+    +. Bigarray.Array1.unsafe_get src (idx + sp - s)
+    +. Bigarray.Array1.unsafe_get src (idx + sp + s)
+  in
+  let corner =
+    Bigarray.Array1.unsafe_get src (idx - sp - s - 1)
+    +. Bigarray.Array1.unsafe_get src (idx - sp - s + 1)
+    +. Bigarray.Array1.unsafe_get src (idx - sp + s - 1)
+    +. Bigarray.Array1.unsafe_get src (idx - sp + s + 1)
+    +. Bigarray.Array1.unsafe_get src (idx + sp - s - 1)
+    +. Bigarray.Array1.unsafe_get src (idx + sp - s + 1)
+    +. Bigarray.Array1.unsafe_get src (idx + sp + s - 1)
+    +. Bigarray.Array1.unsafe_get src (idx + sp + s + 1)
+  in
+  (co.(0) *. center) +. (co.(1) *. face) +. (co.(2) *. edge)
+  +. (co.(3) *. corner)
+
+(* dst ← rhs − A·u over planes [rlo..rhi] *)
+let resid ~n ~(u : buf) ~(rhs : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  let sp = s * s in
+  let a = Nas_coeffs.a in
+  for i = rlo to rhi do
+    for j = 1 to n do
+      let r = (i * sp) + (j * s) in
+      for k = 1 to n do
+        Bigarray.Array1.unsafe_set dst (r + k) (Bigarray.Array1.unsafe_get rhs (r + k) -. gather27 u ~idx:(r + k) ~s ~sp ~co:a)
+      done
+    done
+  done
+
+(* dst ← base + C·r; [base] may be null-like (pure smoothing) *)
+let psinv ~n ~co ~(base : buf option) ~(r : buf) ~(dst : buf) ~rlo ~rhi =
+  let s = n + 2 in
+  let sp = s * s in
+  for i = rlo to rhi do
+    for j = 1 to n do
+      let row = (i * sp) + (j * s) in
+      for k = 1 to n do
+        let v = gather27 r ~idx:(row + k) ~s ~sp ~co in
+        match base with
+        | None -> Bigarray.Array1.unsafe_set dst (row + k) v
+        | Some b -> Bigarray.Array1.unsafe_set dst (row + k) (Bigarray.Array1.unsafe_get b (row + k) +. v)
+      done
+    done
+  done
+
+(* coarse ← R·fine (27-point weighting at stride 2) *)
+let rprj3 ~nc ~(fine : buf) ~(dst : buf) ~rlo ~rhi =
+  let nf = (2 * nc) + 1 in
+  let sf = nf + 2 and sc = nc + 2 in
+  let spf = sf * sf and spc = sc * sc in
+  let co = Nas_coeffs.r in
+  for i = rlo to rhi do
+    for j = 1 to nc do
+      let rc = (i * spc) + (j * sc) in
+      for k = 1 to nc do
+        let idx = (2 * i * spf) + (2 * j * sf) + (2 * k) in
+        Bigarray.Array1.unsafe_set dst (rc + k) (gather27 fine ~idx ~s:sf ~sp:spf ~co)
+      done
+    done
+  done
+
+type level = {
+  ln : int;
+  ubuf : buf;
+  rbuf : buf;
+  tmp : buf;
+}
+
+type t = {
+  cls : Nas_coeffs.cls;
+  n : int;
+  lt : int;
+  par : Parallel.t;
+  levels : level array;  (* index j-1 for NAS level j *)
+}
+
+let create ~cls ~par =
+  let n = Nas_coeffs.problem_n cls in
+  let lt = Nas_coeffs.levels_for n in
+  let levels =
+    Array.init lt (fun i ->
+        let j = i + 1 in
+        let nl = (n / (1 lsl (lt - j))) - 1 in
+        let len = (nl + 2) * (nl + 2) * (nl + 2) in
+        { ln = nl;
+          ubuf = (Buf.create len).Buf.data;
+          rbuf = (Buf.create len).Buf.data;
+          tmp = (Buf.create len).Buf.data })
+  in
+  { cls; n; lt; par; levels }
+
+let zero_interior par ~n (b : buf) =
+  let s = n + 2 in
+  let sp = s * s in
+  Parallel.parallel_for par ~lo:1 ~hi:n (fun i ->
+      for j = 1 to n do
+        let r = (i * sp) + (j * s) in
+        for k = 1 to n do
+          Bigarray.Array1.unsafe_set b (r + k) 0.0
+        done
+      done)
+
+let stepper t ~v ~f ~out =
+  let finest = t.levels.(t.lt - 1) in
+  let expect = Array.make 3 (finest.ln + 2) in
+  if Grid.extents v <> expect || Grid.extents f <> expect
+     || Grid.extents out <> expect
+  then invalid_arg "Nas_ref.stepper: grid extents mismatch";
+  let co = Nas_coeffs.c t.cls in
+  let par = t.par in
+  (* finest residual into r_lt *)
+  Parallel.parallel_for par ~lo:1 ~hi:finest.ln (fun i ->
+      resid ~n:finest.ln ~u:v.Grid.buf.Buf.data ~rhs:f.Grid.buf.Buf.data
+        ~dst:finest.rbuf ~rlo:i ~rhi:i);
+  (* down *)
+  for j = t.lt - 1 downto 1 do
+    let c = t.levels.(j - 1) and fine = t.levels.(j) in
+    Parallel.parallel_for par ~lo:1 ~hi:c.ln (fun i ->
+        rprj3 ~nc:c.ln ~fine:fine.rbuf ~dst:c.rbuf ~rlo:i ~rhi:i)
+  done;
+  (* coarsest: u₁ = C·r₁ *)
+  let c0 = t.levels.(0) in
+  Parallel.parallel_for par ~lo:1 ~hi:c0.ln (fun i ->
+      psinv ~n:c0.ln ~co ~base:None ~r:c0.rbuf ~dst:c0.ubuf ~rlo:i ~rhi:i);
+  (* up *)
+  for j = 2 to t.lt do
+    let lev = t.levels.(j - 1) and coarse = t.levels.(j - 2) in
+    let ubuf = if j = t.lt then out.Grid.buf.Buf.data else lev.ubuf in
+    (* u_j = interp(u_{j-1}) (+ u at the finest) *)
+    if j = t.lt then begin
+      Parallel.parallel_for par ~lo:1 ~hi:lev.ln (fun i ->
+          Repro_mg.Kernels.copy3d ~n:lev.ln ~src:v.Grid.buf.Buf.data ~dst:ubuf
+            ~rlo:i ~rhi:i)
+    end
+    else zero_interior par ~n:lev.ln ubuf;
+    Parallel.parallel_for par ~lo:0 ~hi:coarse.ln (fun i ->
+        Repro_mg.Kernels.interp_correct3d ~nc:coarse.ln ~coarse:coarse.ubuf
+          ~v:ubuf ~rlo:i ~rhi:i);
+    (* r' = rhs − A·u_j; the finest level uses the true rhs *)
+    let rhs = if j = t.lt then f.Grid.buf.Buf.data else lev.rbuf in
+    Parallel.parallel_for par ~lo:1 ~hi:lev.ln (fun i ->
+        resid ~n:lev.ln ~u:ubuf ~rhs ~dst:lev.tmp ~rlo:i ~rhi:i);
+    (* u_j += C·r' *)
+    Parallel.parallel_for par ~lo:1 ~hi:lev.ln (fun i ->
+        psinv ~n:lev.ln ~co ~base:(Some ubuf) ~r:lev.tmp ~dst:ubuf ~rlo:i
+          ~rhi:i)
+  done
+
+let residual_l2 ~u ~v =
+  let n = Grid.interior_size u in
+  let r = Grid.create (Grid.extents u) in
+  resid ~n ~u:u.Grid.buf.Buf.data ~rhs:v.Grid.buf.Buf.data
+    ~dst:r.Grid.buf.Buf.data ~rlo:1 ~rhi:n;
+  Repro_grid.Norms.l2 r

@@ -1,0 +1,19 @@
+(** Hand-written reference implementation of NAS MG (the benchmark's
+    Fortran reference translated to OCaml loops, non-periodic boundary),
+    used both as the baseline the paper compares against (Fig. 10e) and as
+    an independent check of the DSL pipeline. *)
+
+type t
+
+val create :
+  cls:Nas_coeffs.cls -> par:Repro_runtime.Parallel.t -> t
+(** Allocates the [u]/[r] hierarchies once, like the reference code. *)
+
+val stepper : t -> Repro_mg.Solver.stepper
+(** One benchmark iteration ([resid] + [mg3P]); the [v] argument is the
+    current iterate, [f] the right-hand side. *)
+
+val residual_l2 :
+  u:Repro_grid.Grid.t -> v:Repro_grid.Grid.t -> float
+(** L2 norm of [v − A·u] with the NAS operator — the benchmark's
+    verification norm. *)

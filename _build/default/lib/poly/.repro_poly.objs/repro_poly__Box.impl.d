@@ -1,0 +1,1 @@
+lib/poly/box.ml: Array Format Int List Repro_ir

@@ -1,0 +1,1 @@
+lib/poly/diamond.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/poly/regions.ml: Array Box Expr Func Hashtbl Int List Pipeline Repro_ir Result Sizeexpr

@@ -1,0 +1,1 @@
+lib/poly/regions.mli: Box Repro_ir

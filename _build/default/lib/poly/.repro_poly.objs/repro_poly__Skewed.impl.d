@@ -1,0 +1,1 @@
+lib/poly/skewed.ml: Array Int List

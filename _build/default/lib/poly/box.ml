@@ -1,0 +1,107 @@
+type t = { lo : int array; hi : int array }
+
+let rank t = Array.length t.lo
+
+let is_empty t =
+  let e = ref false in
+  for k = 0 to rank t - 1 do
+    if t.hi.(k) < t.lo.(k) then e := true
+  done;
+  !e
+
+let empty rank = { lo = Array.make rank 0; hi = Array.make rank (-1) }
+
+let v ~lo ~hi =
+  if Array.length lo <> Array.length hi then invalid_arg "Box.v: rank mismatch";
+  let b = { lo = Array.copy lo; hi = Array.copy hi } in
+  if is_empty b then empty (Array.length lo) else b
+
+let full lo hi = { lo; hi }
+
+let of_sizes sizes =
+  { lo = Array.map (fun _ -> 1) sizes; hi = Array.copy sizes }
+
+let with_ghost sizes =
+  { lo = Array.map (fun _ -> 0) sizes; hi = Array.map (fun n -> n + 1) sizes }
+
+let inter a b =
+  if rank a <> rank b then invalid_arg "Box.inter: rank mismatch";
+  let d = rank a in
+  let b' =
+    { lo = Array.init d (fun k -> Int.max a.lo.(k) b.lo.(k));
+      hi = Array.init d (fun k -> Int.min a.hi.(k) b.hi.(k)) }
+  in
+  if is_empty b' then empty d else b'
+
+let hull a b =
+  if rank a <> rank b then invalid_arg "Box.hull: rank mismatch";
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    { lo = Array.init (rank a) (fun k -> Int.min a.lo.(k) b.lo.(k));
+      hi = Array.init (rank a) (fun k -> Int.max a.hi.(k) b.hi.(k)) }
+
+let contains outer inner =
+  is_empty inner
+  || (let ok = ref true in
+      for k = 0 to rank outer - 1 do
+        if inner.lo.(k) < outer.lo.(k) || inner.hi.(k) > outer.hi.(k) then
+          ok := false
+      done;
+      !ok)
+
+let mem t idx =
+  let ok = ref (not (is_empty t)) in
+  for k = 0 to rank t - 1 do
+    if idx.(k) < t.lo.(k) || idx.(k) > t.hi.(k) then ok := false
+  done;
+  !ok
+
+let widths t =
+  if is_empty t then Array.make (rank t) 0
+  else Array.init (rank t) (fun k -> t.hi.(k) - t.lo.(k) + 1)
+
+let points t = Array.fold_left ( * ) 1 (widths t)
+
+let translate t d =
+  if is_empty t then t
+  else
+    { lo = Array.mapi (fun k x -> x + d.(k)) t.lo;
+      hi = Array.mapi (fun k x -> x + d.(k)) t.hi }
+
+(* Floor division toward negative infinity: accesses can produce negative
+   coordinates at domain edges before clamping. *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let apply (a : Repro_ir.Expr.access) x =
+  fdiv ((a.mul * x) + a.add) a.den + a.off
+
+let map_access accs t =
+  if is_empty t then empty (rank t)
+  else begin
+    if Array.length accs <> rank t then
+      invalid_arg "Box.map_access: rank mismatch";
+    { lo = Array.mapi (fun k x -> apply accs.(k) x) t.lo;
+      hi = Array.mapi (fun k x -> apply accs.(k) x) t.hi }
+  end
+
+let map_accesses accs_list t =
+  List.fold_left
+    (fun acc accs -> hull acc (map_access accs t))
+    (empty (rank t)) accs_list
+
+let equal a b =
+  (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+
+let pp fmt t =
+  if is_empty t then Format.pp_print_string fmt "[empty]"
+  else begin
+    Format.pp_print_string fmt "[";
+    for k = 0 to rank t - 1 do
+      if k > 0 then Format.pp_print_string fmt ", ";
+      Format.fprintf fmt "%d..%d" t.lo.(k) t.hi.(k)
+    done;
+    Format.pp_print_string fmt "]"
+  end
+
+let to_string t = Format.asprintf "%a" pp t

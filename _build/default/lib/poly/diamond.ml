@@ -1,0 +1,56 @@
+type tile = { i : int; j : int }
+
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let check ~steps ~size ~sigma =
+  if steps < 1 then invalid_arg "Diamond: steps must be >= 1";
+  if size < 1 then invalid_arg "Diamond: size must be >= 1";
+  if sigma < 1 then invalid_arg "Diamond: sigma must be >= 1"
+
+(* Rows of tile (i,j): t such that some x in [1..size] satisfies
+   iσ <= t+x < (i+1)σ and jσ <= t-x < (j+1)σ. *)
+let row_range ~size ~sigma { i; j } t =
+  let xlo =
+    Int.max 1 (Int.max ((i * sigma) - t) (t - (((j + 1) * sigma) - 1)))
+  in
+  let xhi =
+    Int.min size (Int.min ((((i + 1) * sigma) - 1) - t) (t - (j * sigma)))
+  in
+  (xlo, xhi)
+
+let cdiv a b = -fdiv (-a) b
+
+let t_range ~steps ~sigma { i; j } =
+  (* 2t = u + v with u in [iσ, (i+1)σ-1], v in [jσ, (j+1)σ-1] *)
+  let tlo = Int.max 1 (cdiv ((i + j) * sigma) 2) in
+  let thi = Int.min steps (fdiv (((i + j + 2) * sigma) - 2) 2) in
+  (tlo, thi)
+
+let iter_tile ~steps ~size ~sigma tile ~f =
+  check ~steps ~size ~sigma;
+  let tlo, thi = t_range ~steps ~sigma tile in
+  for t = tlo to thi do
+    let xlo, xhi = row_range ~size ~sigma tile t in
+    if xlo <= xhi then f ~t ~xlo ~xhi
+  done
+
+let tile_points ~steps ~size ~sigma tile =
+  let n = ref 0 in
+  iter_tile ~steps ~size ~sigma tile ~f:(fun ~t:_ ~xlo ~xhi ->
+      n := !n + (xhi - xlo + 1));
+  !n
+
+let wavefronts ~steps ~size ~sigma =
+  check ~steps ~size ~sigma;
+  let imin = fdiv 2 sigma and imax = fdiv (steps + size) sigma in
+  let jmin = fdiv (1 - size) sigma and jmax = fdiv (steps - 1) sigma in
+  let fronts = ref [] in
+  for w = imin + jmin to imax + jmax do
+    let tiles = ref [] in
+    for i = Int.max imin (w - jmax) to Int.min imax (w - jmin) do
+      let tile = { i; j = w - i } in
+      if tile_points ~steps ~size ~sigma tile > 0 then tiles := tile :: !tiles
+    done;
+    if !tiles <> [] then fronts := Array.of_list (List.rev !tiles) :: !fronts
+  done;
+  Array.of_list (List.rev !fronts)

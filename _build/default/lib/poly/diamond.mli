@@ -1,0 +1,29 @@
+(** Diamond tiling of time-iterated stencils (Pluto-style, §3.1 / Fig. 5).
+
+    For a smoother applying [steps] Jacobi iterations over a spatial domain,
+    the (time × outermost-space) plane is tiled with σ×σ squares in the
+    rotated coordinates [u = t + x], [v = t − x] — diamonds in (t, x).
+    Dependences of radius-1, step-1 stencils never increase either tile
+    coordinate, so tiles on a wavefront of constant [i + j] are mutually
+    independent: the schedule has concurrent start and no redundant
+    computation, at the cost of one synchronization per wavefront.  Inner
+    spatial dimensions are iterated in full (rectangularly) per point row.
+
+    Execution uses two modulo buffers (time [t] writes buffer [t mod 2]),
+    which is race-free under this schedule. *)
+
+type tile = { i : int; j : int }
+
+val wavefronts : steps:int -> size:int -> sigma:int -> tile array array
+(** All non-empty tiles for [t ∈ 1..steps], [x ∈ 1..size], grouped by
+    wavefront in execution order.  Tiles within one inner array may run
+    concurrently.  [sigma] ≥ 1 is the tile edge in rotated coordinates. *)
+
+val iter_tile :
+  steps:int -> size:int -> sigma:int -> tile ->
+  f:(t:int -> xlo:int -> xhi:int -> unit) -> unit
+(** Enumerates the rows of a tile in increasing [t]; [f] receives the
+    inclusive [x] range to sweep at that time step (empty rows skipped). *)
+
+val tile_points : steps:int -> size:int -> sigma:int -> tile -> int
+(** Number of (t, x) points in the tile. *)

@@ -1,0 +1,65 @@
+type tile = { i : int; j : int }
+
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let check ~steps ~size ~tau ~sigma =
+  if steps < 1 then invalid_arg "Skewed: steps must be >= 1";
+  if size < 1 then invalid_arg "Skewed: size must be >= 1";
+  if tau < 1 || sigma < 1 then invalid_arg "Skewed: tile sizes must be >= 1"
+
+(* Tile (i,j): iτ <= t < (i+1)τ and jσ <= x+t < (j+1)σ. *)
+let iter_tile ~steps ~size ~tau ~sigma { i; j } ~f =
+  check ~steps ~size ~tau ~sigma;
+  let tlo = Int.max 1 (i * tau) and thi = Int.min steps (((i + 1) * tau) - 1) in
+  for t = tlo to thi do
+    let xlo = Int.max 1 ((j * sigma) - t) in
+    let xhi = Int.min size ((((j + 1) * sigma) - 1) - t) in
+    if xlo <= xhi then f ~t ~xlo ~xhi
+  done
+
+let tile_points ~steps ~size ~tau ~sigma tile =
+  let n = ref 0 in
+  iter_tile ~steps ~size ~tau ~sigma tile ~f:(fun ~t:_ ~xlo ~xhi ->
+      n := !n + (xhi - xlo + 1));
+  !n
+
+let wavefronts ~steps ~size ~tau ~sigma =
+  check ~steps ~size ~tau ~sigma;
+  let imin = fdiv 1 tau and imax = fdiv steps tau in
+  let jmin = fdiv 2 sigma and jmax = fdiv (steps + size) sigma in
+  let fronts = ref [] in
+  for w = imin + jmin to imax + jmax do
+    let tiles = ref [] in
+    for i = Int.max imin (w - jmax) to Int.min imax (w - jmin) do
+      let tile = { i; j = w - i } in
+      if tile_points ~steps ~size ~tau ~sigma tile > 0 then
+        tiles := tile :: !tiles
+    done;
+    if !tiles <> [] then fronts := Array.of_list (List.rev !tiles) :: !fronts
+  done;
+  Array.of_list (List.rev !fronts)
+
+type profile = {
+  fronts : int;
+  max_width : int;
+  avg_width : float;
+  startup_fronts : int;
+}
+
+let concurrency schedule =
+  let fronts = Array.length schedule in
+  if fronts = 0 then
+    { fronts = 0; max_width = 0; avg_width = 0.0; startup_fronts = 0 }
+  else begin
+    let widths = Array.map Array.length schedule in
+    let max_width = Array.fold_left Int.max 0 widths in
+    let total = Array.fold_left ( + ) 0 widths in
+    let startup_fronts =
+      Array.fold_left (fun acc w -> if w < max_width then acc + 1 else acc) 0
+        widths
+    in
+    { fronts;
+      max_width;
+      avg_width = float_of_int total /. float_of_int fronts;
+      startup_fronts }
+  end

@@ -1,0 +1,36 @@
+(** Time-skewed (parallelogram) tiling of time-iterated stencils — the
+    wavefront method of Williams et al. / Basu et al. that §5 of the paper
+    contrasts with overlapped and diamond tiling.
+
+    The (time × outermost-space) plane is tiled with τ×σ rectangles in the
+    skewed coordinates [u = t], [v = x + t]; dependences of radius-1,
+    step-1 stencils never increase either tile coordinate, so wavefronts
+    of constant [i + j] are valid — but unlike diamond tiling the first
+    wavefronts contain only a few tiles: the schedule pays a {e pipelined
+    startup and drain}, which {!concurrency} quantifies. *)
+
+type tile = { i : int; j : int }
+
+val wavefronts : steps:int -> size:int -> tau:int -> sigma:int -> tile array array
+(** All non-empty tiles for [t ∈ 1..steps], [x ∈ 1..size], grouped by
+    wavefront in execution order; tiles within one wavefront are mutually
+    independent. *)
+
+val iter_tile :
+  steps:int -> size:int -> tau:int -> sigma:int -> tile ->
+  f:(t:int -> xlo:int -> xhi:int -> unit) -> unit
+(** Enumerates tile rows in increasing [t] (empty rows skipped). *)
+
+val tile_points : steps:int -> size:int -> tau:int -> sigma:int -> tile -> int
+
+type profile = {
+  fronts : int;  (** number of wavefronts (synchronization points) *)
+  max_width : int;  (** maximum tiles in any wavefront *)
+  avg_width : float;  (** mean tiles per wavefront *)
+  startup_fronts : int;  (** wavefronts narrower than [max_width] *)
+}
+
+val concurrency : 'a array array -> profile
+(** Schedule concurrency statistics — the quantity behind "wavefronting
+    suffers from pipelined startup and drain phases" (§5).  Applies to
+    any wavefront schedule (this module's or {!Diamond}'s). *)

@@ -1,0 +1,1 @@
+lib/runtime/mempool.ml: Buf List Repro_grid

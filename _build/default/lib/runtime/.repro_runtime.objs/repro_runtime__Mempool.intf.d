@@ -1,0 +1,1 @@
+lib/runtime/mempool.mli: Repro_grid

@@ -1,0 +1,87 @@
+open Repro_grid
+
+type stats = {
+  fresh_allocs : int;
+  reuse_hits : int;
+  live_bytes : int;
+  pool_bytes : int;
+  peak_live_bytes : int;
+}
+
+type entry = { buf : Buf.t; mutable free : bool }
+
+type t = {
+  mutable entries : entry list;
+  mutable fresh_allocs : int;
+  mutable reuse_hits : int;
+  mutable live_bytes : int;
+  mutable pool_bytes : int;
+  mutable peak_live_bytes : int;
+}
+
+let create () =
+  { entries = [];
+    fresh_allocs = 0;
+    reuse_hits = 0;
+    live_bytes = 0;
+    pool_bytes = 0;
+    peak_live_bytes = 0 }
+
+let note_live t delta =
+  t.live_bytes <- t.live_bytes + delta;
+  if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes
+
+(* Best fit: smallest free buffer that is large enough. *)
+let find_fit t len =
+  List.fold_left
+    (fun best e ->
+      if e.free && Buf.len e.buf >= len then
+        match best with
+        | Some b when Buf.len b.buf <= Buf.len e.buf -> best
+        | _ -> Some e
+      else best)
+    None t.entries
+
+let acquire t len =
+  if len < 0 then invalid_arg "Mempool.acquire: negative length";
+  match find_fit t len with
+  | Some e ->
+    e.free <- false;
+    t.reuse_hits <- t.reuse_hits + 1;
+    note_live t (Buf.bytes e.buf);
+    e.buf
+  | None ->
+    let buf = Buf.create_uninit len in
+    t.entries <- { buf; free = false } :: t.entries;
+    t.fresh_allocs <- t.fresh_allocs + 1;
+    t.pool_bytes <- t.pool_bytes + Buf.bytes buf;
+    note_live t (Buf.bytes buf);
+    buf
+
+let release t buf =
+  let rec find = function
+    | [] -> invalid_arg "Mempool.release: buffer not from this pool"
+    | e :: rest -> if e.buf == buf then e else find rest
+  in
+  let e = find t.entries in
+  if e.free then invalid_arg "Mempool.release: double release";
+  e.free <- true;
+  t.live_bytes <- t.live_bytes - Buf.bytes e.buf
+
+let stats t =
+  { fresh_allocs = t.fresh_allocs;
+    reuse_hits = t.reuse_hits;
+    live_bytes = t.live_bytes;
+    pool_bytes = t.pool_bytes;
+    peak_live_bytes = t.peak_live_bytes }
+
+let live_count t =
+  List.length (List.filter (fun e -> not e.free) t.entries)
+
+let clear t =
+  t.entries <- [];
+  t.fresh_allocs <- 0;
+  t.reuse_hits <- 0;
+  t.live_bytes <- 0;
+  t.pool_bytes <- 0;
+  t.peak_live_bytes <- 0

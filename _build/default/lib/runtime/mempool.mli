@@ -1,0 +1,37 @@
+(** Pooled memory allocation (paper §3.2.3).
+
+    Full-array allocation requests from the execution engine go through a
+    pool that outlives individual multigrid cycles: [acquire] returns an
+    existing free buffer when one is large enough (best fit), otherwise
+    allocates a fresh one; [release] is a table update making the buffer
+    available again.  Arrays are thus physically allocated on the first
+    cycle and reused by all later cycles — and releasing as soon as the
+    last consumer of an array finishes lets later stages of the {e same}
+    cycle reuse it, catching inter-group reuse the static pass missed. *)
+
+type t
+
+type stats = {
+  fresh_allocs : int;  (** requests served by a new allocation *)
+  reuse_hits : int;  (** requests served from the free list *)
+  live_bytes : int;  (** bytes currently acquired *)
+  pool_bytes : int;  (** bytes owned by the pool (live + free) *)
+  peak_live_bytes : int;
+}
+
+val create : unit -> t
+
+val acquire : t -> int -> Repro_grid.Buf.t
+(** [acquire t len] returns a buffer with at least [len] elements.
+    Contents are unspecified (reused buffers are dirty). *)
+
+val release : t -> Repro_grid.Buf.t -> unit
+(** Returns a buffer to the pool.
+    @raise Invalid_argument if the buffer is not currently acquired. *)
+
+val stats : t -> stats
+
+val live_count : t -> int
+
+val clear : t -> unit
+(** Drops every buffer (free and acquired) and resets statistics. *)

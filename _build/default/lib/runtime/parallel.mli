@@ -1,0 +1,27 @@
+(** Shared-memory parallelism over a reusable pool of domains.
+
+    This is the OCaml-5 stand-in for the paper's OpenMP
+    [parallel for collapse(d)] loops: a pool of [p] domains created once
+    and reused for every parallel region (tile loops, wavefronts).  With
+    [p = 1] everything runs inline in the caller with no synchronization,
+    which is the honest sequential baseline. *)
+
+type t
+
+val create : int -> t
+(** [create p] spins up [p - 1] worker domains ([p] ≥ 1). *)
+
+val size : t -> int
+
+val sequential : t
+(** A shared single-domain pool (inline execution). *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Runs [f i] for every [i] in [lo..hi] inclusive, distributing indices
+    dynamically over the pool.  Blocks until all complete.  The first
+    exception raised by any worker is re-raised in the caller (others are
+    discarded).  Nested calls run the inner loop inline. *)
+
+val teardown : t -> unit
+(** Joins the workers.  The pool must not be used afterwards; calling
+    teardown on {!sequential} is a no-op. *)

@@ -1,0 +1,1 @@
+test/test_box.ml: Alcotest Array Box Expr List QCheck QCheck_alcotest Repro_ir Repro_poly

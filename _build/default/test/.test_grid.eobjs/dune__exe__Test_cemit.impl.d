@@ -1,0 +1,1 @@
+test/test_cemit.ml: Alcotest C_emit Cycle Filename Lazy List Options Plan Printf Repro_core Repro_mg String Sys

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Bigarray Box Compile Expr Float Func Gen List QCheck QCheck_alcotest Repro_core Repro_grid Repro_ir Repro_poly Sizeexpr

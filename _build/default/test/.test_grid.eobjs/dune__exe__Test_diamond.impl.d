@@ -1,0 +1,1 @@
+test/test_diamond.ml: Alcotest Array Diamond Hashtbl List Printf QCheck QCheck_alcotest Repro_poly

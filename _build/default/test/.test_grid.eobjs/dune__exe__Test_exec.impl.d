@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Cycle Exec List Options Plan Printf Problem Repro_core Repro_grid Repro_mg Repro_runtime Solver

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Expr Format List QCheck QCheck_alcotest Repro_ir String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cycle Exec Func Krylov List Options Pipeline Printf Problem Repro_core Repro_grid Repro_ir Repro_mg Solver String Verify

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Buf Float Gen Grid Hashtbl List Norms QCheck QCheck_alcotest Repro_grid

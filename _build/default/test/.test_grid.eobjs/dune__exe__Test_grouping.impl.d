@@ -1,0 +1,1 @@
+test/test_grouping.ml: Alcotest Array Cycle Format Func Grouping Hashtbl Int List Options Pipeline Plan Repro_core Repro_ir Repro_mg Repro_poly String

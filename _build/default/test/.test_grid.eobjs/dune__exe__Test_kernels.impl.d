@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Dsl Exec Expr Func Kernels List Nas_coeffs Nas_ref Options Plan Printf Repro_core Repro_grid Repro_ir Repro_mg Repro_nas Sizeexpr Stencils Verify Weights

@@ -1,0 +1,1 @@
+test/test_mg.ml: Alcotest Array Cycle Exec Func Handopt List Options Pipeline Printf Problem Repro_core Repro_grid Repro_ir Repro_mg Repro_runtime Solver Verify

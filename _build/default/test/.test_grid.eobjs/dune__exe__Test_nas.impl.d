@@ -1,0 +1,1 @@
+test/test_nas.ml: Alcotest Array Exec Int64 List Nas_coeffs Nas_pipeline Nas_problem Nas_ref Options Printf Problem Repro_core Repro_grid Repro_ir Repro_mg Repro_nas Solver

@@ -1,0 +1,1 @@
+test/test_options.ml: Alcotest Format List Options Repro_core String

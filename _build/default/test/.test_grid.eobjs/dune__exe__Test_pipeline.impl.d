@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Dsl Expr Format Func List Pipeline Repro_ir Sizeexpr String Weights

@@ -1,0 +1,1 @@
+test/test_random_pipelines.ml: Alcotest Array Dsl Exec Expr Func List Options Pipeline Plan Printf QCheck QCheck_alcotest Repro_core Repro_grid Repro_ir Sizeexpr Weights

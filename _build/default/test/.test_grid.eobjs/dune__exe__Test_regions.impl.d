@@ -1,0 +1,1 @@
+test/test_regions.ml: Alcotest Array Box Dsl Expr Func Hashtbl List Pipeline QCheck QCheck_alcotest Regions Repro_ir Repro_poly Sizeexpr Weights

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic List Mempool Mutex Parallel QCheck QCheck_alcotest Repro_grid Repro_runtime

@@ -1,0 +1,1 @@
+test/test_sizeexpr.ml: Alcotest List QCheck QCheck_alcotest Repro_ir Sizeexpr

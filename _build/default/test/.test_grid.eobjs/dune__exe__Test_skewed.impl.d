@@ -1,0 +1,1 @@
+test/test_skewed.ml: Alcotest Array Cycle Diamond Exec Hashtbl List Options Printf Problem Repro_core Repro_grid Repro_mg Repro_poly Skewed Solver

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Fun Gen Hashtbl Int List QCheck QCheck_alcotest Repro_core Storage

@@ -1,0 +1,157 @@
+open Repro_poly
+open Repro_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let b lo hi = Box.v ~lo ~hi
+
+let test_empty () =
+  let e = Box.empty 2 in
+  check_bool "empty" true (Box.is_empty e);
+  check_int "points" 0 (Box.points e);
+  check_bool "normalized" true (Box.is_empty (b [| 3; 1 |] [| 2; 5 |]))
+
+let test_widths_points () =
+  let x = b [| 1; 2 |] [| 3; 5 |] in
+  Alcotest.(check (array int)) "widths" [| 3; 4 |] (Box.widths x);
+  check_int "points" 12 (Box.points x)
+
+let test_inter () =
+  let x = b [| 0; 0 |] [| 5; 5 |] and y = b [| 3; -2 |] [| 8; 2 |] in
+  let i = Box.inter x y in
+  check_bool "equal" true (Box.equal i (b [| 3; 0 |] [| 5; 2 |]));
+  check_bool "disjoint empty" true
+    (Box.is_empty (Box.inter x (b [| 7; 7 |] [| 9; 9 |])))
+
+let test_hull () =
+  let x = b [| 0; 0 |] [| 1; 1 |] and y = b [| 3; -1 |] [| 4; 0 |] in
+  check_bool "hull" true (Box.equal (Box.hull x y) (b [| 0; -1 |] [| 4; 1 |]));
+  check_bool "hull with empty" true
+    (Box.equal (Box.hull x (Box.empty 2)) x)
+
+let test_contains_mem () =
+  let x = b [| 0; 0 |] [| 4; 4 |] in
+  check_bool "contains" true (Box.contains x (b [| 1; 1 |] [| 3; 3 |]));
+  check_bool "not contains" false (Box.contains x (b [| 1; 1 |] [| 5; 3 |]));
+  check_bool "contains empty" true (Box.contains x (Box.empty 2));
+  check_bool "mem" true (Box.mem x [| 4; 0 |]);
+  check_bool "not mem" false (Box.mem x [| 5; 0 |])
+
+let test_of_sizes_ghost () =
+  check_bool "interior" true
+    (Box.equal (Box.of_sizes [| 4; 6 |]) (b [| 1; 1 |] [| 4; 6 |]));
+  check_bool "ghost" true
+    (Box.equal (Box.with_ghost [| 4; 6 |]) (b [| 0; 0 |] [| 5; 7 |]))
+
+let test_translate () =
+  let x = b [| 1; 1 |] [| 2; 2 |] in
+  check_bool "translate" true
+    (Box.equal (Box.translate x [| 3; -1 |]) (b [| 4; 0 |] [| 5; 1 |]))
+
+let acc ?(mul = 1) ?(add = 0) ?(den = 1) off = { Expr.mul; add; den; off }
+
+let test_map_access_stencil () =
+  (* radius-1 stencil footprint grows the box by 1 on each side *)
+  let x = b [| 2; 2 |] [| 5; 5 |] in
+  let img =
+    Box.map_accesses
+      [ [| acc (-1); acc 0 |]; [| acc 1; acc 0 |];
+        [| acc 0; acc (-1) |]; [| acc 0; acc 1 |]; [| acc 0; acc 0 |] ]
+      x
+  in
+  check_bool "grown" true (Box.equal img (b [| 1; 1 |] [| 6; 6 |]))
+
+let test_map_access_restrict () =
+  (* coarse box [1..4] reading fine at 2x±1 covers [1..9] *)
+  let x = b [| 1 |] [| 4 |] in
+  let img =
+    Box.map_accesses [ [| acc ~mul:2 (-1) |]; [| acc ~mul:2 1 |] ] x
+  in
+  check_bool "fine box" true (Box.equal img (b [| 1 |] [| 9 |]))
+
+let test_map_access_interp () =
+  (* fine box [1..9] reading coarse at (x±1)/2 covers [0..5] *)
+  let x = b [| 1 |] [| 9 |] in
+  let img =
+    Box.map_accesses [ [| acc ~den:2 ~add:(-1) 0 |]; [| acc ~den:2 ~add:1 0 |] ] x
+  in
+  check_bool "coarse box" true (Box.equal img (b [| 0 |] [| 5 |]))
+
+let test_map_empty () =
+  check_bool "empty map" true
+    (Box.is_empty (Box.map_accesses [] (b [| 1 |] [| 2 |])));
+  check_bool "empty box" true
+    (Box.is_empty (Box.map_access [| acc 0 |] (Box.empty 1)))
+
+(* properties *)
+
+let box_gen =
+  QCheck.Gen.(
+    let* l0 = int_range (-10) 10 in
+    let* l1 = int_range (-10) 10 in
+    let* w0 = int_range 0 10 in
+    let* w1 = int_range 0 10 in
+    return (b [| l0; l1 |] [| l0 + w0; l1 + w1 |]))
+
+let box_arb = QCheck.make ~print:Box.to_string box_gen
+
+let prop_inter_commutative =
+  QCheck.Test.make ~name:"inter commutative" ~count:200
+    (QCheck.pair box_arb box_arb)
+    (fun (x, y) -> Box.equal (Box.inter x y) (Box.inter y x))
+
+let prop_hull_contains =
+  QCheck.Test.make ~name:"hull contains both" ~count:200
+    (QCheck.pair box_arb box_arb)
+    (fun (x, y) ->
+      let h = Box.hull x y in
+      Box.contains h x && Box.contains h y)
+
+let prop_inter_contained =
+  QCheck.Test.make ~name:"inter contained in both" ~count:200
+    (QCheck.pair box_arb box_arb)
+    (fun (x, y) ->
+      let i = Box.inter x y in
+      Box.contains x i && Box.contains y i)
+
+let prop_map_access_pointwise =
+  QCheck.Test.make ~name:"map_access image contains all pointwise images"
+    ~count:200
+    QCheck.(
+      pair box_arb
+        (pair
+           (pair (int_range 1 3) (int_range (-3) 3))
+           (pair (int_range 1 2) (int_range (-3) 3))))
+    (fun (x, ((mul, add), (den, off))) ->
+      let a = [| acc ~mul ~add ~den off; acc 0 |] in
+      let img = Box.map_access a x in
+      Box.is_empty x
+      || begin
+        let fdiv p q = if p >= 0 then p / q else -(((-p) + q - 1) / q) in
+        let ok = ref true in
+        for i = x.Box.lo.(0) to x.Box.hi.(0) do
+          let y = fdiv ((mul * i) + add) den + off in
+          if y < img.Box.lo.(0) || y > img.Box.hi.(0) then ok := false
+        done;
+        !ok
+      end)
+
+let () =
+  Alcotest.run "box"
+    [ ( "unit",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "widths/points" `Quick test_widths_points;
+          Alcotest.test_case "inter" `Quick test_inter;
+          Alcotest.test_case "hull" `Quick test_hull;
+          Alcotest.test_case "contains/mem" `Quick test_contains_mem;
+          Alcotest.test_case "of_sizes/ghost" `Quick test_of_sizes_ghost;
+          Alcotest.test_case "translate" `Quick test_translate;
+          Alcotest.test_case "stencil footprint" `Quick test_map_access_stencil;
+          Alcotest.test_case "restrict footprint" `Quick test_map_access_restrict;
+          Alcotest.test_case "interp footprint" `Quick test_map_access_interp;
+          Alcotest.test_case "empty maps" `Quick test_map_empty ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_inter_commutative; prop_hull_contains; prop_inter_contained;
+            prop_map_access_pointwise ] ) ]

@@ -1,0 +1,120 @@
+open Repro_poly
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_points ~steps ~size ~sigma =
+  let fronts = Diamond.wavefronts ~steps ~size ~sigma in
+  let seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun w front ->
+      Array.iter
+        (fun tile ->
+          Diamond.iter_tile ~steps ~size ~sigma tile ~f:(fun ~t ~xlo ~xhi ->
+              for x = xlo to xhi do
+                if Hashtbl.mem seen (t, x) then
+                  Alcotest.failf "point (%d,%d) in two tiles" t x;
+                Hashtbl.replace seen (t, x) w
+              done))
+        front)
+    fronts;
+  seen
+
+let test_exact_cover () =
+  List.iter
+    (fun (steps, size, sigma) ->
+      let seen = all_points ~steps ~size ~sigma in
+      check_int
+        (Printf.sprintf "cover %dx%d sigma %d" steps size sigma)
+        (steps * size) (Hashtbl.length seen))
+    [ (1, 10, 4); (4, 17, 4); (10, 64, 8); (7, 33, 16); (3, 5, 1) ]
+
+let test_dependences_respect_wavefronts () =
+  (* every read of (t-1, x±1) must come from an earlier wavefront or the
+     same tile *)
+  let steps = 8 and size = 40 and sigma = 4 in
+  let seen = all_points ~steps ~size ~sigma in
+  Hashtbl.iter
+    (fun (t, x) w ->
+      if t > 1 then
+        List.iter
+          (fun dx ->
+            let x' = x + dx in
+            if x' >= 1 && x' <= size then begin
+              let w' = Hashtbl.find seen (t - 1, x') in
+              check_bool "dependence satisfied" true (w' <= w)
+            end)
+          [ -1; 0; 1 ])
+    seen
+
+let test_tile_points_consistent () =
+  let steps = 6 and size = 20 and sigma = 4 in
+  let fronts = Diamond.wavefronts ~steps ~size ~sigma in
+  let total =
+    Array.fold_left
+      (fun acc front ->
+        Array.fold_left
+          (fun acc tile ->
+            acc + Diamond.tile_points ~steps ~size ~sigma tile)
+          acc front)
+      0 fronts
+  in
+  check_int "total points" (steps * size) total
+
+let test_rows_increasing_t () =
+  let steps = 5 and size = 12 and sigma = 3 in
+  let fronts = Diamond.wavefronts ~steps ~size ~sigma in
+  Array.iter
+    (fun front ->
+      Array.iter
+        (fun tile ->
+          let last_t = ref 0 in
+          Diamond.iter_tile ~steps ~size ~sigma tile ~f:(fun ~t ~xlo ~xhi ->
+              check_bool "t increasing" true (t > !last_t);
+              check_bool "row nonempty" true (xlo <= xhi);
+              last_t := t))
+        front)
+    fronts
+
+let test_invalid_args () =
+  Alcotest.check_raises "steps" (Invalid_argument "Diamond: steps must be >= 1")
+    (fun () -> ignore (Diamond.wavefronts ~steps:0 ~size:4 ~sigma:2));
+  Alcotest.check_raises "sigma" (Invalid_argument "Diamond: sigma must be >= 1")
+    (fun () -> ignore (Diamond.wavefronts ~steps:2 ~size:4 ~sigma:0))
+
+let prop_cover_random =
+  QCheck.Test.make ~name:"wavefronts cover exactly steps*size points" ~count:60
+    QCheck.(triple (int_range 1 12) (int_range 1 50) (int_range 1 12))
+    (fun (steps, size, sigma) ->
+      let seen = all_points ~steps ~size ~sigma in
+      Hashtbl.length seen = steps * size)
+
+let prop_deps_random =
+  QCheck.Test.make ~name:"dependences never cross wavefronts backwards"
+    ~count:25
+    QCheck.(triple (int_range 2 8) (int_range 4 30) (int_range 1 8))
+    (fun (steps, size, sigma) ->
+      let seen = all_points ~steps ~size ~sigma in
+      let ok = ref true in
+      Hashtbl.iter
+        (fun (t, x) w ->
+          if t > 1 then
+            List.iter
+              (fun dx ->
+                let x' = x + dx in
+                if x' >= 1 && x' <= size then
+                  if Hashtbl.find seen (t - 1, x') > w then ok := false)
+              [ -1; 0; 1 ])
+        seen;
+      !ok)
+
+let () =
+  Alcotest.run "diamond"
+    [ ( "unit",
+        [ Alcotest.test_case "exact cover" `Quick test_exact_cover;
+          Alcotest.test_case "dependences" `Quick test_dependences_respect_wavefronts;
+          Alcotest.test_case "tile_points" `Quick test_tile_points_consistent;
+          Alcotest.test_case "rows increasing" `Quick test_rows_increasing_t;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_cover_random; prop_deps_random ] ) ]

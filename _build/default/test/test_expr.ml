@@ -1,0 +1,121 @@
+open Repro_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ids = Alcotest.(check (list int))
+
+let acc ?(mul = 1) ?(add = 0) ?(den = 1) off = { Expr.mul; add; den; off }
+
+let test_load_builders () =
+  match Expr.load 3 [| 1; -1 |] with
+  | Expr.Load (3, accs) ->
+    check_int "off0" 1 accs.(0).Expr.off;
+    check_int "off1" (-1) accs.(1).Expr.off;
+    check_int "mul" 1 accs.(0).Expr.mul
+  | _ -> Alcotest.fail "expected Load"
+
+let test_id_access () =
+  let a = Expr.id_access 3 in
+  check_int "rank" 3 (Array.length a);
+  Array.iter
+    (fun x ->
+      check_int "mul" 1 x.Expr.mul;
+      check_int "off" 0 x.Expr.off)
+    a
+
+let test_arith_builders () =
+  let e = Expr.(const 2.0 * (load 0 [| 0 |] + param "w")) in
+  (match e with
+   | Expr.Binop (Expr.Mul, Expr.Const 2.0, Expr.Binop (Expr.Add, _, _)) -> ()
+   | _ -> Alcotest.fail "structure");
+  check_int "op_count" 2 (Expr.op_count e)
+
+let test_func_ids_dedup () =
+  let e = Expr.(load 2 [| 0 |] + (load 1 [| 1 |] - load 2 [| -1 |])) in
+  check_ids "sorted dedup" [ 1; 2 ] (Expr.func_ids e)
+
+let test_loads_order () =
+  let e = Expr.(load 5 [| 0 |] + load 3 [| 1 |]) in
+  check_ids "syntactic order" [ 5; 3 ] (List.map fst (Expr.loads e))
+
+let test_params () =
+  let e = Expr.(param "b" + (param "a" * param "b")) in
+  Alcotest.(check (list string)) "params" [ "a"; "b" ] (Expr.params e)
+
+let test_subst_func () =
+  let e = Expr.(load 1 [| 0 |] + load 2 [| 0 |]) in
+  let e' = Expr.subst_func e ~old_id:1 ~new_id:9 in
+  check_ids "substituted" [ 2; 9 ] (Expr.func_ids e')
+
+let eval_access (a : Expr.access) x =
+  let fdiv p q = if p >= 0 then p / q else -(((-p) + q - 1) / q) in
+  fdiv ((a.Expr.mul * x) + a.Expr.add) a.Expr.den + a.Expr.off
+
+let test_map_access_unit_compose () =
+  (* consumer x+2 through producer y-1 = x+1 *)
+  let c = acc 2 and p = acc (-1) in
+  let m = Expr.map_access ~producer:p ~consumer:c in
+  check_int "compose shift" 6 (eval_access m 5)
+
+let test_map_access_coarse () =
+  (* consumer reads producer at 2x+1; producer access itself is y-1:
+     composite x -> 2x *)
+  let c = acc ~mul:2 1 and p = acc (-1) in
+  let m = Expr.map_access ~producer:p ~consumer:c in
+  check_int "2x" 10 (eval_access m 5)
+
+let test_map_access_interp_shift () =
+  (* consumer (x+1)/2 then producer shift +1 *)
+  let c = acc ~den:2 ~add:1 0 and p = acc 1 in
+  let m = Expr.map_access ~producer:p ~consumer:c in
+  check_int "x=5 -> 3+1" 4 (eval_access m 5)
+
+let test_map_access_inexact () =
+  let c = acc ~den:2 0 and p = acc ~mul:2 0 in
+  Alcotest.check_raises "inexact"
+    (Invalid_argument "Expr.map_access: inexact composition") (fun () ->
+      ignore (Expr.map_access ~producer:p ~consumer:c))
+
+let prop_map_access_matches_composition =
+  QCheck.Test.make ~name:"map_access = pointwise composition (exact cases)"
+    ~count:500
+    QCheck.(
+      quad (pair (int_range 1 3) (int_range (-3) 3))
+        (pair (int_range 1 3) (int_range (-3) 3))
+        (int_range 1 2) (int_range 0 20))
+    (fun ((cmul, cadd), (pmul, padd), pden, x) ->
+      (* consumer has den 1 so the composition is exact *)
+      let c = acc ~mul:cmul ~add:cadd 1 in
+      let p = acc ~mul:pmul ~add:padd ~den:pden 2 in
+      let m = Expr.map_access ~producer:p ~consumer:c in
+      eval_access m x = eval_access p (eval_access c x))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pp_simple () =
+  let e = Expr.(load 7 [| 1 |] / param "h") in
+  let s = Format.asprintf "%a" (Expr.pp ~names:(fun _ -> "grid")) e in
+  check_bool "grid(x0+1)" true (contains s "grid(x0+1)");
+  check_bool "div" true (contains s "/ h")
+
+let () =
+  Alcotest.run "expr"
+    [ ( "unit",
+        [ Alcotest.test_case "load builders" `Quick test_load_builders;
+          Alcotest.test_case "id_access" `Quick test_id_access;
+          Alcotest.test_case "arith builders" `Quick test_arith_builders;
+          Alcotest.test_case "func_ids dedup" `Quick test_func_ids_dedup;
+          Alcotest.test_case "loads order" `Quick test_loads_order;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "subst_func" `Quick test_subst_func;
+          Alcotest.test_case "map_access unit" `Quick test_map_access_unit_compose;
+          Alcotest.test_case "map_access coarse" `Quick test_map_access_coarse;
+          Alcotest.test_case "map_access interp" `Quick test_map_access_interp_shift;
+          Alcotest.test_case "map_access inexact" `Quick test_map_access_inexact;
+          Alcotest.test_case "pp" `Quick test_pp_simple ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_map_access_matches_composition ] ) ]

@@ -1,0 +1,171 @@
+(* Tests for the extension features: GSRB smoothing (paper §4.1's
+   two-colour abstraction) and multigrid-preconditioned CG (§1). *)
+
+open Repro_ir
+open Repro_core
+open Repro_mg
+module Grid = Repro_grid.Grid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let gsrb_cfg dims =
+  { (Cycle.default ~dims ~shape:Cycle.V ~smoothing:(2, 2, 2)) with
+    Cycle.smoother = Cycle.Gsrb;
+    Cycle.omega = 1.0 }
+
+let test_gsrb_stage_count () =
+  (* every smoothing step becomes a red and a black half-stage: the
+     V-2-2-2 DAG has 6 smooth stages per fine level + coarse, each doubled *)
+  let jac = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(2, 2, 2) in
+  let nj = Pipeline.stage_count (Cycle.build jac) in
+  let ng = Pipeline.stage_count (Cycle.build (gsrb_cfg 2)) in
+  (* smooth stages: 3 levels × 4 + coarse 2 = 14; they double *)
+  check_int "doubled smooth stages" (nj + 14) ng
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_gsrb_half_stages_parity () =
+  let p = Cycle.build (gsrb_cfg 2) in
+  let halves =
+    Array.to_list (Pipeline.funcs p)
+    |> List.filter (fun (f : Func.t) ->
+           contains f.Func.name "_red" || contains f.Func.name "_blk")
+  in
+  check_bool "has half stages" true (List.length halves > 0);
+  List.iter
+    (fun (f : Func.t) ->
+      match f.Func.defn with
+      | Func.Parity cases -> check_int "4 parity cases" 4 (Array.length cases)
+      | Func.Def _ | Func.Undefined -> Alcotest.fail "expected parity defn")
+    halves
+
+let run_cycles cfg ~n ~opts ~cycles =
+  let problem = Problem.poisson ~dims:cfg.Cycle.dims ~n in
+  let rt = Exec.runtime () in
+  let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+  let r = Solver.iterate stepper ~problem ~cycles () in
+  Exec.free_runtime rt;
+  r
+
+let test_gsrb_variants_agree () =
+  List.iter
+    (fun dims ->
+      let cfg = gsrb_cfg dims in
+      let n = if dims = 2 then 32 else 16 in
+      let a = run_cycles cfg ~n ~opts:Options.naive ~cycles:2 in
+      List.iter
+        (fun (name, opts) ->
+          let b = run_cycles cfg ~n ~opts ~cycles:2 in
+          let d = Grid.max_abs_diff a.Solver.v b.Solver.v in
+          check_bool (Printf.sprintf "%dD %s diff %g" dims name d) true
+            (d < 1e-13))
+        [ ("opt", Options.opt); ("opt+", Options.opt_plus);
+          ("dtile-opt+", Options.dtile_opt_plus) ])
+    [ 2; 3 ]
+
+let test_gsrb_beats_jacobi () =
+  let jac =
+    { (Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(2, 2, 2)) with
+      Cycle.levels = 5 }
+  in
+  let gs = { (gsrb_cfg 2) with Cycle.levels = 5 } in
+  let rate cfg =
+    let r = run_cycles cfg ~n:32 ~opts:Options.opt_plus ~cycles:4 in
+    let res = List.map (fun s -> s.Solver.residual) r.Solver.stats in
+    List.nth res 3 /. List.hd res
+  in
+  let rj = rate jac and rg = rate gs in
+  check_bool (Printf.sprintf "gsrb (%.2e) beats jacobi (%.2e)" rg rj) true
+    (rg < rj)
+
+let test_gsrb_converges_3d () =
+  let cfg = { (gsrb_cfg 3) with Cycle.levels = 4 } in
+  let r = run_cycles cfg ~n:32 ~opts:Options.opt_plus ~cycles:4 in
+  let res = List.map (fun s -> s.Solver.residual) r.Solver.stats in
+  check_bool "monotone decreasing" true
+    (List.for_all2 (fun a b -> b < a) (List.filteri (fun i _ -> i < 3) res)
+       (List.tl res))
+
+(* ---- Krylov ---- *)
+
+let test_cg_plain_converges_small () =
+  let problem = Problem.poisson_random ~dims:2 ~n:16 ~seed:5 in
+  let r =
+    Krylov.pcg ~problem ~precond:Krylov.identity_precond ~tol:1e-10
+      ~max_iter:200
+  in
+  check_bool "converged" true r.Krylov.converged;
+  check_bool "residual small" true
+    (Verify.residual_l2 ~n:16 ~v:r.Krylov.v ~f:problem.Problem.f < 1e-8)
+
+let test_pcg_mg_faster () =
+  let n = 64 in
+  let problem = Problem.poisson_random ~dims:2 ~n ~seed:6 in
+  let plain =
+    Krylov.pcg ~problem ~precond:Krylov.identity_precond ~tol:1e-9
+      ~max_iter:500
+  in
+  let rt = Exec.runtime () in
+  let cfg =
+    { (Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(2, 0, 2)) with
+      Cycle.levels = 5 }
+  in
+  let pre =
+    Krylov.pcg ~problem
+      ~precond:(Krylov.mg_precond cfg ~n ~opts:Options.opt_plus ~rt)
+      ~tol:1e-9 ~max_iter:500
+  in
+  Exec.free_runtime rt;
+  check_bool "preconditioned converged" true pre.Krylov.converged;
+  check_bool
+    (Printf.sprintf "fewer iterations (%d < %d)" pre.Krylov.iterations
+       plain.Krylov.iterations)
+    true
+    (pre.Krylov.iterations * 3 < plain.Krylov.iterations)
+
+let test_pcg_residual_list_monotonic_tail () =
+  let problem = Problem.poisson_random ~dims:2 ~n:32 ~seed:8 in
+  let rt = Exec.runtime () in
+  let cfg =
+    { (Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(2, 0, 2)) with
+      Cycle.levels = 4 }
+  in
+  let r =
+    Krylov.pcg ~problem
+      ~precond:(Krylov.mg_precond cfg ~n:32 ~opts:Options.naive ~rt)
+      ~tol:1e-11 ~max_iter:100
+  in
+  Exec.free_runtime rt;
+  check_bool "converged" true r.Krylov.converged;
+  check_int "residual list length" r.Krylov.iterations
+    (List.length r.Krylov.residuals)
+
+let test_pcg_bad_args () =
+  let problem = Problem.poisson ~dims:2 ~n:16 in
+  check_bool "max_iter" true
+    (try
+       ignore
+         (Krylov.pcg ~problem ~precond:Krylov.identity_precond ~tol:1e-6
+            ~max_iter:0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "gsrb",
+        [ Alcotest.test_case "stage count" `Quick test_gsrb_stage_count;
+          Alcotest.test_case "parity half stages" `Quick
+            test_gsrb_half_stages_parity;
+          Alcotest.test_case "variants agree" `Quick test_gsrb_variants_agree;
+          Alcotest.test_case "beats jacobi" `Quick test_gsrb_beats_jacobi;
+          Alcotest.test_case "3d converges" `Quick test_gsrb_converges_3d ] );
+      ( "krylov",
+        [ Alcotest.test_case "plain cg" `Quick test_cg_plain_converges_small;
+          Alcotest.test_case "mg preconditioner" `Quick test_pcg_mg_faster;
+          Alcotest.test_case "residual bookkeeping" `Quick
+            test_pcg_residual_list_monotonic_tail;
+          Alcotest.test_case "bad args" `Quick test_pcg_bad_args ] ) ]

@@ -1,0 +1,57 @@
+open Repro_core
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_presets_features () =
+  check_bool "naive no fuse" false Options.naive.Options.fuse;
+  check_bool "naive no pool" false Options.naive.Options.pool;
+  check_bool "opt fuses" true Options.opt.Options.fuse;
+  check_bool "opt no scratch reuse" false Options.opt.Options.scratch_reuse;
+  check_bool "opt+ scratch reuse" true Options.opt_plus.Options.scratch_reuse;
+  check_bool "opt+ array reuse" true Options.opt_plus.Options.array_reuse;
+  check_bool "opt+ pool" true Options.opt_plus.Options.pool;
+  (match Options.dtile_opt_plus.Options.smoother with
+   | Options.Diamond_smoother { sigma } -> check_bool "sigma" true (sigma > 0)
+   | Options.Overlapped_smoother | Options.Skewed_smoother _ ->
+     Alcotest.fail "dtile must use diamond");
+  check_bool "walk kernels default on" true
+    Options.opt_plus.Options.walk_kernels
+
+let test_variant_of_string () =
+  List.iter
+    (fun (s, expect_name) ->
+      match Options.variant_of_string s with
+      | Some o -> check_str s expect_name (Options.name o)
+      | None -> Alcotest.failf "unparsed %s" s)
+    [ ("naive", "naive"); ("opt", "opt"); ("opt+", "opt+");
+      ("dtile-opt+", "dtile-opt+") ];
+  check_bool "unknown" true (Options.variant_of_string "turbo" = None)
+
+let test_name_custom () =
+  let o = { Options.opt_plus with Options.pool = false } in
+  check_str "custom" "custom" (Options.name o)
+
+let test_with_tiles () =
+  let o = Options.with_tiles Options.opt ~t2:[| 7; 7 |] ~t3:[| 3; 3; 3 |] in
+  Alcotest.(check (array int)) "t2" [| 7; 7 |] o.Options.tile_2d;
+  Alcotest.(check (array int)) "t3" [| 3; 3; 3 |] o.Options.tile_3d;
+  check_bool "other fields kept" true (o.Options.fuse = Options.opt.Options.fuse)
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" Options.pp Options.dtile_opt_plus in
+  check_bool "mentions diamond" true
+    (String.length s > 0
+     && (let rec go i =
+           i + 7 <= String.length s && (String.sub s i 7 = "diamond" || go (i + 1))
+         in
+         go 0))
+
+let () =
+  Alcotest.run "options"
+    [ ( "unit",
+        [ Alcotest.test_case "preset features" `Quick test_presets_features;
+          Alcotest.test_case "variant_of_string" `Quick test_variant_of_string;
+          Alcotest.test_case "custom name" `Quick test_name_custom;
+          Alcotest.test_case "with_tiles" `Quick test_with_tiles;
+          Alcotest.test_case "pp" `Quick test_pp_smoke ] ) ]

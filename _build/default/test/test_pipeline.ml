@@ -1,0 +1,197 @@
+open Repro_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sizes n = [| Sizeexpr.const n; Sizeexpr.const n |]
+let psizes = [| Sizeexpr.add_const Sizeexpr.n (-1);
+                Sizeexpr.add_const Sizeexpr.n (-1) |]
+
+let laplace =
+  Weights.w2 [| [| 0.; -1.; 0. |]; [| -1.; 4.; -1. |]; [| 0.; -1.; 0. |] |]
+
+let simple_pipeline () =
+  let ctx = Dsl.create "p" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes:psizes in
+  let a =
+    Dsl.func ctx ~name:"a" ~sizes:psizes (Dsl.stencil v laplace ())
+  in
+  let b =
+    Dsl.func ctx ~name:"b" ~sizes:psizes
+      Expr.(load a.Func.id [| 0; 0 |] * const 2.0)
+  in
+  (Dsl.finish ctx ~outputs:[ b ], v, a, b)
+
+let test_stage_count_excludes_inputs () =
+  let p, _, _, _ = simple_pipeline () in
+  check_int "stages" 2 (Pipeline.stage_count p);
+  check_int "funcs incl inputs" 3 (Array.length (Pipeline.funcs p))
+
+let test_consumers () =
+  let p, v, a, b = simple_pipeline () in
+  Alcotest.(check (list int)) "v consumed by a" [ a.Func.id ]
+    (Pipeline.consumers p v.Func.id);
+  Alcotest.(check (list int)) "a consumed by b" [ b.Func.id ]
+    (Pipeline.consumers p a.Func.id);
+  Alcotest.(check (list int)) "b unconsumed" [] (Pipeline.consumers p b.Func.id)
+
+let test_liveout () =
+  let p, _, a, b = simple_pipeline () in
+  check_bool "b is output" true (Pipeline.is_liveout p b.Func.id);
+  check_bool "a is not" false (Pipeline.is_liveout p a.Func.id)
+
+let test_inputs () =
+  let p, v, _, _ = simple_pipeline () in
+  match Pipeline.inputs p with
+  | [ f ] -> check_int "input id" v.Func.id f.Func.id
+  | _ -> Alcotest.fail "one input expected"
+
+let test_no_outputs_rejected () =
+  let ctx = Dsl.create "bad" in
+  let _ = Dsl.grid ctx "V" ~dims:2 ~sizes:(sizes 8) in
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Pipeline.validate: no outputs") (fun () ->
+      ignore (Dsl.finish ctx ~outputs:[]))
+
+let test_output_must_not_be_input () =
+  let ctx = Dsl.create "bad" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes:(sizes 8) in
+  let _ = Dsl.func ctx ~name:"a" ~sizes:(sizes 8) (Dsl.stencil v laplace ()) in
+  Alcotest.check_raises "input output"
+    (Invalid_argument "Pipeline.validate: output is an input") (fun () ->
+      ignore (Dsl.finish ctx ~outputs:[ v ]))
+
+let test_func_validate_rank () =
+  let f =
+    { Func.id = 0; name = "x"; dims = 2;
+      sizes = [| Sizeexpr.const 4 |];
+      defn = Func.Def (Expr.const 1.0);
+      boundary = Func.Dirichlet 0.0;
+      kind = Func.Pointwise }
+  in
+  Alcotest.check_raises "rank" (Invalid_argument "x: size array rank mismatch")
+    (fun () -> Func.validate f)
+
+let test_func_parity_count () =
+  let f =
+    { Func.id = 0; name = "x"; dims = 2; sizes = sizes 4;
+      defn = Func.Parity [| Expr.const 0.0 |];
+      boundary = Func.Dirichlet 0.0;
+      kind = Func.Interpolation }
+  in
+  Alcotest.check_raises "parity count"
+    (Invalid_argument "x: parity case count must be 2^dims") (fun () ->
+      Func.validate f)
+
+let test_producers_accesses () =
+  let _, _, a, b = simple_pipeline () in
+  Alcotest.(check (list int)) "b producers" [ a.Func.id ] (Func.producers b);
+  check_int "b accesses a once" 1 (List.length (Func.accesses_to b a.Func.id));
+  check_int "a accesses none of b" 0 (List.length (Func.accesses_to a b.Func.id))
+
+let test_tstencil_chain () =
+  let ctx = Dsl.create "ts" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes:psizes in
+  let f = Dsl.grid ctx "F" ~dims:2 ~sizes:psizes in
+  let last =
+    Dsl.tstencil ctx ~name:"S" ~steps:3 ~init:v (fun ~v ->
+        Expr.(Dsl.stencil v laplace () + load f.Func.id [| 0; 0 |]))
+  in
+  let p = Dsl.finish ctx ~outputs:[ last ] in
+  check_int "3 stages" 3 (Pipeline.stage_count p);
+  (match last.Func.kind with
+   | Func.Smooth { step = 2; total = 3 } -> ()
+   | _ -> Alcotest.fail "kind");
+  (* each step reads its predecessor *)
+  check_bool "chained" true
+    (List.mem (last.Func.id - 1) (Func.producers last))
+
+let test_tstencil_zero_steps () =
+  let ctx = Dsl.create "ts0" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes:psizes in
+  let r = Dsl.tstencil ctx ~name:"S" ~steps:0 ~init:v (fun ~v ->
+      Dsl.stencil v laplace ()) in
+  check_int "returns init" v.Func.id r.Func.id
+
+let test_tstencil_from_zero () =
+  let ctx = Dsl.create "tz" in
+  let f = Dsl.grid ctx "F" ~dims:2 ~sizes:psizes in
+  let last =
+    Dsl.tstencil_from_zero ctx ~name:"S" ~steps:2 ~sizes:psizes
+      ~first:Expr.(const 0.5 * load f.Func.id [| 0; 0 |])
+      (fun ~v -> Dsl.stencil v laplace ())
+  in
+  let p = Dsl.finish ctx ~outputs:[ last ] in
+  check_int "2 stages" 2 (Pipeline.stage_count p);
+  let first = Pipeline.func p (last.Func.id - 1) in
+  (match first.Func.kind with
+   | Func.Smooth { step = 0; total = 2 } -> ()
+   | _ -> Alcotest.fail "first kind");
+  Alcotest.(check (list int)) "first reads only F" [ f.Func.id ]
+    (Func.producers first)
+
+let test_restrict_sizes () =
+  let ctx = Dsl.create "r" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes:psizes in
+  let r = Dsl.restrict_fn ctx ~name:"R" ~input:v () in
+  check_int "coarse size at n=16" 7 (Sizeexpr.eval ~n:16 r.Func.sizes.(0));
+  (match r.Func.kind with
+   | Func.Restriction -> ()
+   | _ -> Alcotest.fail "kind");
+  (* full weighting: 9 terms summing to 1, all scaled 2x accesses *)
+  let accs = Func.accesses_to r v.Func.id in
+  check_int "9 accesses" 9 (List.length accs);
+  List.iter
+    (fun a -> Array.iter (fun (x : Expr.access) ->
+         check_int "mul 2" 2 x.Expr.mul) a)
+    accs
+
+let test_interp_parity () =
+  let ctx = Dsl.create "i" in
+  let coarse_sizes = [| Sizeexpr.add_const (Sizeexpr.n_over 2) (-1);
+                        Sizeexpr.add_const (Sizeexpr.n_over 2) (-1) |] in
+  let v = Dsl.grid ctx "E" ~dims:2 ~sizes:coarse_sizes in
+  let i = Dsl.interp_fn ctx ~name:"I" ~input:v () in
+  check_int "fine size at n=16" 15 (Sizeexpr.eval ~n:16 i.Func.sizes.(0));
+  (match i.Func.defn with
+   | Func.Parity cases ->
+     check_int "4 cases" 4 (Array.length cases);
+     (* even-even injects: one load; odd-odd averages 4 loads *)
+     check_int "case 0 loads" 1 (List.length (Expr.loads cases.(0)));
+     check_int "case 3 loads" 4 (List.length (Expr.loads cases.(3)))
+   | _ -> Alcotest.fail "parity defn")
+
+let test_stencil_rank_mismatch () =
+  let ctx = Dsl.create "m" in
+  let v = Dsl.grid ctx "V" ~dims:3
+      ~sizes:[| Sizeexpr.const 4; Sizeexpr.const 4; Sizeexpr.const 4 |] in
+  Alcotest.check_raises "rank"
+    (Invalid_argument "Dsl.stencil: weight tensor rank mismatch") (fun () ->
+      ignore (Dsl.stencil v laplace ()))
+
+let test_pipeline_pp_smoke () =
+  let p, _, _, _ = simple_pipeline () in
+  let s = Format.asprintf "%a" Pipeline.pp p in
+  check_bool "nonempty" true (String.length s > 50)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "pipeline",
+        [ Alcotest.test_case "stage count" `Quick test_stage_count_excludes_inputs;
+          Alcotest.test_case "consumers" `Quick test_consumers;
+          Alcotest.test_case "liveout" `Quick test_liveout;
+          Alcotest.test_case "inputs" `Quick test_inputs;
+          Alcotest.test_case "no outputs" `Quick test_no_outputs_rejected;
+          Alcotest.test_case "output not input" `Quick test_output_must_not_be_input;
+          Alcotest.test_case "pp" `Quick test_pipeline_pp_smoke ] );
+      ( "func",
+        [ Alcotest.test_case "validate rank" `Quick test_func_validate_rank;
+          Alcotest.test_case "parity count" `Quick test_func_parity_count;
+          Alcotest.test_case "producers/accesses" `Quick test_producers_accesses ] );
+      ( "dsl",
+        [ Alcotest.test_case "tstencil chain" `Quick test_tstencil_chain;
+          Alcotest.test_case "tstencil 0 steps" `Quick test_tstencil_zero_steps;
+          Alcotest.test_case "tstencil from zero" `Quick test_tstencil_from_zero;
+          Alcotest.test_case "restrict" `Quick test_restrict_sizes;
+          Alcotest.test_case "interp parity" `Quick test_interp_parity;
+          Alcotest.test_case "stencil rank" `Quick test_stencil_rank_mismatch ] ) ]

@@ -1,0 +1,167 @@
+open Repro_runtime
+module Buf = Repro_grid.Buf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_parallel_sequential_sum () =
+  let acc = Atomic.make 0 in
+  Parallel.parallel_for Parallel.sequential ~lo:1 ~hi:100 (fun i ->
+      ignore (Atomic.fetch_and_add acc i));
+  check_int "sum" 5050 (Atomic.get acc)
+
+let test_parallel_empty_range () =
+  let hit = ref false in
+  Parallel.parallel_for Parallel.sequential ~lo:5 ~hi:4 (fun _ -> hit := true);
+  check_bool "no calls" false !hit
+
+let test_parallel_pool_sum () =
+  let pool = Parallel.create 3 in
+  check_int "size" 3 (Parallel.size pool);
+  let acc = Atomic.make 0 in
+  Parallel.parallel_for pool ~lo:1 ~hi:1000 (fun i ->
+      ignore (Atomic.fetch_and_add acc i));
+  check_int "sum" 500500 (Atomic.get acc);
+  (* pool is reusable *)
+  let acc2 = Atomic.make 0 in
+  Parallel.parallel_for pool ~lo:0 ~hi:9 (fun _ ->
+      ignore (Atomic.fetch_and_add acc2 1));
+  check_int "reuse" 10 (Atomic.get acc2);
+  Parallel.teardown pool
+
+let test_parallel_each_index_once () =
+  let pool = Parallel.create 2 in
+  let counts = Array.make 64 0 in
+  let m = Mutex.create () in
+  Parallel.parallel_for pool ~lo:0 ~hi:63 (fun i ->
+      Mutex.lock m;
+      counts.(i) <- counts.(i) + 1;
+      Mutex.unlock m);
+  Parallel.teardown pool;
+  Array.iter (fun c -> check_int "once" 1 c) counts
+
+let test_parallel_exception () =
+  let pool = Parallel.create 2 in
+  (try
+     Parallel.parallel_for pool ~lo:0 ~hi:10 (fun i ->
+         if i = 5 then failwith "boom");
+     Alcotest.fail "expected exception"
+   with Failure msg -> check_bool "msg" true (msg = "boom"));
+  (* pool still usable after the failure *)
+  let acc = Atomic.make 0 in
+  Parallel.parallel_for pool ~lo:0 ~hi:3 (fun _ ->
+      ignore (Atomic.fetch_and_add acc 1));
+  check_int "after exception" 4 (Atomic.get acc);
+  Parallel.teardown pool
+
+let test_parallel_nested_inline () =
+  let pool = Parallel.create 2 in
+  let acc = Atomic.make 0 in
+  Parallel.parallel_for pool ~lo:0 ~hi:3 (fun _ ->
+      Parallel.parallel_for pool ~lo:0 ~hi:3 (fun _ ->
+          ignore (Atomic.fetch_and_add acc 1)));
+  check_int "nested" 16 (Atomic.get acc);
+  Parallel.teardown pool
+
+let test_parallel_create_invalid () =
+  Alcotest.check_raises "zero" (Invalid_argument "Parallel.create: pool size must be >= 1")
+    (fun () -> ignore (Parallel.create 0))
+
+let test_mempool_basic () =
+  let p = Mempool.create () in
+  let b1 = Mempool.acquire p 100 in
+  check_bool "len" true (Buf.len b1 >= 100);
+  check_int "live" 1 (Mempool.live_count p);
+  Mempool.release p b1;
+  check_int "released" 0 (Mempool.live_count p);
+  (* the freed buffer is reused *)
+  let b2 = Mempool.acquire p 80 in
+  check_bool "reused" true (b1 == b2);
+  let s = Mempool.stats p in
+  check_int "fresh" 1 s.Mempool.fresh_allocs;
+  check_int "hits" 1 s.Mempool.reuse_hits
+
+let test_mempool_best_fit () =
+  let p = Mempool.create () in
+  let small = Mempool.acquire p 10 in
+  let big = Mempool.acquire p 1000 in
+  Mempool.release p small;
+  Mempool.release p big;
+  (* a request for 10 must take the small buffer, not the big one *)
+  let got = Mempool.acquire p 10 in
+  check_bool "best fit" true (got == small)
+
+let test_mempool_no_fit_allocates () =
+  let p = Mempool.create () in
+  let b1 = Mempool.acquire p 10 in
+  Mempool.release p b1;
+  let b2 = Mempool.acquire p 20 in
+  check_bool "fresh" true (not (b1 == b2));
+  check_int "fresh count" 2 (Mempool.stats p).Mempool.fresh_allocs
+
+let test_mempool_double_release () =
+  let p = Mempool.create () in
+  let b = Mempool.acquire p 10 in
+  Mempool.release p b;
+  Alcotest.check_raises "double" (Invalid_argument "Mempool.release: double release")
+    (fun () -> Mempool.release p b)
+
+let test_mempool_foreign_release () =
+  let p = Mempool.create () in
+  let b = Buf.create 10 in
+  Alcotest.check_raises "foreign"
+    (Invalid_argument "Mempool.release: buffer not from this pool") (fun () ->
+      Mempool.release p b)
+
+let test_mempool_stats_bytes () =
+  let p = Mempool.create () in
+  let b1 = Mempool.acquire p 100 in
+  let _b2 = Mempool.acquire p 50 in
+  let s = Mempool.stats p in
+  check_int "live bytes" (8 * 150) s.Mempool.live_bytes;
+  check_int "peak" (8 * 150) s.Mempool.peak_live_bytes;
+  Mempool.release p b1;
+  let s = Mempool.stats p in
+  check_int "after release" (8 * 50) s.Mempool.live_bytes;
+  check_int "peak sticky" (8 * 150) s.Mempool.peak_live_bytes;
+  check_int "pool bytes" (8 * 150) s.Mempool.pool_bytes
+
+let test_mempool_clear () =
+  let p = Mempool.create () in
+  ignore (Mempool.acquire p 10);
+  Mempool.clear p;
+  check_int "cleared" 0 (Mempool.stats p).Mempool.fresh_allocs
+
+let prop_pool_serves_cycles =
+  QCheck.Test.make
+    ~name:"pooled acquire/release across cycles allocates once per slot"
+    ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 2 6))
+    (fun (buffers, cycles) ->
+      let p = Mempool.create () in
+      for _ = 1 to cycles do
+        let bs = List.init buffers (fun i -> Mempool.acquire p ((i + 1) * 16)) in
+        List.iter (Mempool.release p) bs
+      done;
+      (Mempool.stats p).Mempool.fresh_allocs = buffers)
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "parallel",
+        [ Alcotest.test_case "sequential sum" `Quick test_parallel_sequential_sum;
+          Alcotest.test_case "empty range" `Quick test_parallel_empty_range;
+          Alcotest.test_case "pool sum" `Quick test_parallel_pool_sum;
+          Alcotest.test_case "each index once" `Quick test_parallel_each_index_once;
+          Alcotest.test_case "exception propagates" `Quick test_parallel_exception;
+          Alcotest.test_case "nested inline" `Quick test_parallel_nested_inline;
+          Alcotest.test_case "invalid size" `Quick test_parallel_create_invalid ] );
+      ( "mempool",
+        [ Alcotest.test_case "acquire/release" `Quick test_mempool_basic;
+          Alcotest.test_case "best fit" `Quick test_mempool_best_fit;
+          Alcotest.test_case "no fit" `Quick test_mempool_no_fit_allocates;
+          Alcotest.test_case "double release" `Quick test_mempool_double_release;
+          Alcotest.test_case "foreign release" `Quick test_mempool_foreign_release;
+          Alcotest.test_case "stats" `Quick test_mempool_stats_bytes;
+          Alcotest.test_case "clear" `Quick test_mempool_clear ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_pool_serves_cycles ] ) ]

@@ -1,0 +1,121 @@
+open Repro_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_const () =
+  let s = Sizeexpr.const 7 in
+  check_bool "is_const" true (Sizeexpr.is_const s);
+  check_int "eval" 7 (Sizeexpr.eval ~n:100 s)
+
+let test_n () =
+  check_int "N" 64 (Sizeexpr.eval ~n:64 Sizeexpr.n);
+  check_bool "not const" false (Sizeexpr.is_const Sizeexpr.n)
+
+let test_n_over () =
+  check_int "N/4" 16 (Sizeexpr.eval ~n:64 (Sizeexpr.n_over 4))
+
+let test_n_over_bad_den () =
+  Alcotest.check_raises "den 3"
+    (Invalid_argument "Sizeexpr.make: denominator must be a positive power of two")
+    (fun () -> ignore (Sizeexpr.n_over 3))
+
+let test_eval_divisibility () =
+  Alcotest.check_raises "63 not divisible by 4"
+    (Invalid_argument "Sizeexpr.eval: N=63 not divisible by 4") (fun () ->
+      ignore (Sizeexpr.eval ~n:63 (Sizeexpr.n_over 4)))
+
+let test_add_const () =
+  let s = Sizeexpr.add_const (Sizeexpr.n_over 2) (-1) in
+  check_int "N/2 - 1" 31 (Sizeexpr.eval ~n:64 s)
+
+let test_halve_double () =
+  let s = Sizeexpr.n_over 2 in
+  check_int "halve" 16 (Sizeexpr.eval ~n:64 (Sizeexpr.halve s));
+  check_int "double" 64 (Sizeexpr.eval ~n:64 (Sizeexpr.double s));
+  check_int "double const" 14 (Sizeexpr.eval ~n:64 (Sizeexpr.double (Sizeexpr.const 7)))
+
+let test_halve_odd_offset () =
+  Alcotest.check_raises "odd offset"
+    (Invalid_argument "Sizeexpr.halve: odd offset") (fun () ->
+      ignore (Sizeexpr.halve (Sizeexpr.add_const Sizeexpr.n 1)))
+
+let test_coarsen_refine () =
+  let fine = Sizeexpr.add_const Sizeexpr.n (-1) in
+  let coarse = Sizeexpr.coarsen fine in
+  check_int "coarsen N-1" 31 (Sizeexpr.eval ~n:64 coarse);
+  check_bool "refine inverse" true (Sizeexpr.equal (Sizeexpr.refine coarse) fine)
+
+let test_coarsen_const () =
+  check_int "coarsen 7" 3 (Sizeexpr.eval ~n:8 (Sizeexpr.coarsen (Sizeexpr.const 7)))
+
+let test_coarsen_even_offset () =
+  Alcotest.check_raises "even offset"
+    (Invalid_argument "Sizeexpr.coarsen: even offset") (fun () ->
+      ignore (Sizeexpr.coarsen Sizeexpr.n))
+
+let test_same_class () =
+  let a = Sizeexpr.add_const (Sizeexpr.n_over 2) (-1) in
+  let b = Sizeexpr.add_const (Sizeexpr.n_over 2) 3 in
+  let c = Sizeexpr.add_const (Sizeexpr.n_over 4) (-1) in
+  check_bool "same" true (Sizeexpr.same_class a b);
+  check_bool "different den" false (Sizeexpr.same_class a c);
+  check_bool "const vs parametric" false
+    (Sizeexpr.same_class a (Sizeexpr.const 31))
+
+let test_normalization () =
+  (* 2N/2 normalizes to N *)
+  let s = Sizeexpr.make ~num:2 ~den:2 ~off:0 in
+  check_bool "normalized" true (Sizeexpr.equal s Sizeexpr.n)
+
+let test_pp () =
+  check_str "N" "N" (Sizeexpr.to_string Sizeexpr.n);
+  check_str "N/2-1" "N/2-1"
+    (Sizeexpr.to_string (Sizeexpr.add_const (Sizeexpr.n_over 2) (-1)));
+  check_str "const" "5" (Sizeexpr.to_string (Sizeexpr.const 5))
+
+let test_compare_total () =
+  let a = Sizeexpr.n and b = Sizeexpr.n_over 2 in
+  check_bool "antisymmetric" true
+    (Sizeexpr.compare a b = -Sizeexpr.compare b a);
+  check_int "reflexive" 0 (Sizeexpr.compare a a)
+
+let prop_coarsen_refine_roundtrip =
+  QCheck.Test.make ~name:"refine (coarsen s) = s for odd offsets" ~count:100
+    QCheck.(pair (int_range 0 4) (int_range (-8) 8))
+    (fun (dlog, halfoff) ->
+      let off = (2 * halfoff) - 1 in
+      let s = Sizeexpr.add_const (Sizeexpr.n_over (1 lsl dlog)) off in
+      Sizeexpr.equal (Sizeexpr.refine (Sizeexpr.coarsen s)) s)
+
+let prop_eval_linear =
+  QCheck.Test.make ~name:"eval is affine in N" ~count:100
+    QCheck.(pair (int_range 0 3) (int_range (-4) 4))
+    (fun (dlog, off) ->
+      let d = 1 lsl dlog in
+      let s = Sizeexpr.add_const (Sizeexpr.n_over d) off in
+      let n1 = 8 * d and n2 = 16 * d in
+      Sizeexpr.eval ~n:n2 s - Sizeexpr.eval ~n:n1 s = (n2 - n1) / d)
+
+let () =
+  Alcotest.run "sizeexpr"
+    [ ( "unit",
+        [ Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "n" `Quick test_n;
+          Alcotest.test_case "n_over" `Quick test_n_over;
+          Alcotest.test_case "bad denominator" `Quick test_n_over_bad_den;
+          Alcotest.test_case "divisibility" `Quick test_eval_divisibility;
+          Alcotest.test_case "add_const" `Quick test_add_const;
+          Alcotest.test_case "halve/double" `Quick test_halve_double;
+          Alcotest.test_case "halve odd offset" `Quick test_halve_odd_offset;
+          Alcotest.test_case "coarsen/refine" `Quick test_coarsen_refine;
+          Alcotest.test_case "coarsen const" `Quick test_coarsen_const;
+          Alcotest.test_case "coarsen even offset" `Quick test_coarsen_even_offset;
+          Alcotest.test_case "same_class" `Quick test_same_class;
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+          Alcotest.test_case "compare" `Quick test_compare_total ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_coarsen_refine_roundtrip; prop_eval_linear ] ) ]

@@ -1,0 +1,137 @@
+open Repro_poly
+open Repro_core
+open Repro_mg
+module Grid = Repro_grid.Grid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_points ~steps ~size ~tau ~sigma =
+  let fronts = Skewed.wavefronts ~steps ~size ~tau ~sigma in
+  let seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun w front ->
+      Array.iter
+        (fun tile ->
+          Skewed.iter_tile ~steps ~size ~tau ~sigma tile
+            ~f:(fun ~t ~xlo ~xhi ->
+              for x = xlo to xhi do
+                if Hashtbl.mem seen (t, x) then
+                  Alcotest.failf "point (%d,%d) in two tiles" t x;
+                Hashtbl.replace seen (t, x) w
+              done))
+        front)
+    fronts;
+  seen
+
+let test_exact_cover () =
+  List.iter
+    (fun (steps, size, tau, sigma) ->
+      let seen = all_points ~steps ~size ~tau ~sigma in
+      check_int
+        (Printf.sprintf "cover %dx%d tau %d sigma %d" steps size tau sigma)
+        (steps * size) (Hashtbl.length seen))
+    [ (1, 10, 2, 4); (4, 17, 2, 8); (10, 64, 4, 16); (7, 33, 7, 5) ]
+
+let test_dependences () =
+  let steps = 8 and size = 40 and tau = 3 and sigma = 8 in
+  let seen = all_points ~steps ~size ~tau ~sigma in
+  Hashtbl.iter
+    (fun (t, x) w ->
+      if t > 1 then
+        List.iter
+          (fun dx ->
+            let x' = x + dx in
+            if x' >= 1 && x' <= size then
+              check_bool "dep satisfied" true (Hashtbl.find seen (t - 1, x') <= w))
+          [ -1; 0; 1 ])
+    seen
+
+let test_pipelined_startup_vs_diamond () =
+  (* the quantitative §5 claim: skewed schedules ramp up (narrow early
+     wavefronts) while diamond starts at full width *)
+  let steps = 16 and size = 256 in
+  let dia = Skewed.concurrency (Diamond.wavefronts ~steps ~size ~sigma:8) in
+  let skw =
+    Skewed.concurrency (Skewed.wavefronts ~steps ~size ~tau:8 ~sigma:8)
+  in
+  check_bool
+    (Printf.sprintf "diamond first front full (%d tiles)"
+       (Array.length (Diamond.wavefronts ~steps ~size ~sigma:8).(0)))
+    true
+    (Array.length (Diamond.wavefronts ~steps ~size ~sigma:8).(0)
+     >= size / (2 * 8));
+  check_int "skewed first front has one tile" 1
+    (Array.length (Skewed.wavefronts ~steps ~size ~tau:8 ~sigma:8).(0));
+  check_bool
+    (Printf.sprintf "skewed startup fronts %d > 0" skw.Skewed.startup_fronts)
+    true (skw.Skewed.startup_fronts > 0);
+  ignore dia
+
+let test_concurrency_profile () =
+  let p =
+    Skewed.concurrency (Skewed.wavefronts ~steps:6 ~size:30 ~tau:3 ~sigma:6)
+  in
+  check_bool "fronts > 0" true (p.Skewed.fronts > 0);
+  check_bool "avg <= max" true
+    (p.Skewed.avg_width <= float_of_int p.Skewed.max_width);
+  check_bool "startup < fronts" true (p.Skewed.startup_fronts < p.Skewed.fronts)
+
+let test_exec_skewed_agrees () =
+  List.iter
+    (fun (dims, n) ->
+      let cfg = Cycle.default ~dims ~shape:Cycle.V ~smoothing:(10, 0, 0) in
+      let problem = Problem.poisson ~dims ~n in
+      let run opts =
+        let rt = Exec.runtime () in
+        let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+        let r = Solver.iterate stepper ~problem ~cycles:2 ~residuals:false () in
+        Exec.free_runtime rt;
+        r.Solver.v
+      in
+      let reference = run Options.naive in
+      List.iter
+        (fun (tau, sigma) ->
+          let v =
+            run
+              { Options.opt_plus with
+                Options.smoother = Options.Skewed_smoother { tau; sigma } }
+          in
+          let d = Grid.max_abs_diff reference v in
+          check_bool
+            (Printf.sprintf "%dD tau=%d sigma=%d diff %g" dims tau sigma d)
+            true (d < 1e-13))
+        [ (2, 8); (4, 4); (10, 30) ])
+    [ (2, 32); (3, 16) ]
+
+let test_exec_skewed_parallel_agrees () =
+  let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(10, 0, 0) in
+  let n = 32 in
+  let problem = Problem.poisson ~dims:2 ~n in
+  let opts =
+    { Options.opt_plus with
+      Options.smoother = Options.Skewed_smoother { tau = 3; sigma = 8 } }
+  in
+  let run domains =
+    let rt = Exec.runtime ~domains () in
+    let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+    let r = Solver.iterate stepper ~problem ~cycles:2 ~residuals:false () in
+    Exec.free_runtime rt;
+    r.Solver.v
+  in
+  check_bool "3 domains agree" true
+    (Grid.max_abs_diff (run 1) (run 3) = 0.0)
+
+let () =
+  Alcotest.run "skewed"
+    [ ( "schedule",
+        [ Alcotest.test_case "exact cover" `Quick test_exact_cover;
+          Alcotest.test_case "dependences" `Quick test_dependences;
+          Alcotest.test_case "pipelined startup" `Quick
+            test_pipelined_startup_vs_diamond;
+          Alcotest.test_case "concurrency profile" `Quick
+            test_concurrency_profile ] );
+      ( "execution",
+        [ Alcotest.test_case "agrees with naive" `Quick test_exec_skewed_agrees;
+          Alcotest.test_case "parallel agrees" `Quick
+            test_exec_skewed_parallel_agrees ] ) ]

@@ -1,0 +1,137 @@
+open Repro_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let slot tbl id = Hashtbl.find tbl id
+
+let test_last_use_map_basic () =
+  (* 0 -> 1 -> 2; time = id *)
+  let m =
+    Storage.last_use_map ~ids:[ 0; 1; 2 ] ~time:Fun.id
+      ~uses:(function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [])
+  in
+  Alcotest.(check (list int)) "dies at 1" [ 0 ] (Hashtbl.find m 1);
+  check_bool "2 dies at own time" true (List.mem 2 (Hashtbl.find m 2));
+  check_bool "1 dies at 2" true (List.mem 1 (Hashtbl.find m 2))
+
+let test_last_use_no_consumer () =
+  let m = Storage.last_use_map ~ids:[ 5 ] ~time:(fun _ -> 3) ~uses:(fun _ -> []) in
+  Alcotest.(check (list int)) "own time" [ 5 ] (Hashtbl.find m 3)
+
+let test_remap_chain_two_slots () =
+  (* a chain 0 -> 1 -> 2 -> 3 -> 4 where each value dies one step after
+     creation: greedy colouring needs exactly 2 slots (Fig. 7) *)
+  let ids = [ 0; 1; 2; 3; 4 ] in
+  let tbl, count =
+    Storage.remap ~ids ~time:Fun.id
+      ~last_use:(fun i -> Int.min (i + 1) 4)
+      ~cls:(fun _ -> 0)
+  in
+  check_int "two slots" 2 count;
+  (* consecutive stages never share *)
+  List.iter
+    (fun i -> check_bool "neighbours differ" true (slot tbl i <> slot tbl (i + 1)))
+    [ 0; 1; 2; 3 ]
+
+let test_remap_no_reuse_same_time () =
+  (* two live-outs of the same group (equal timestamps) must not exchange
+     storage even when one is dead at that time (§3.2.2) *)
+  let ids = [ 0; 1; 2 ] in
+  (* 0 produced at t0 and dies at t1; 1 and 2 both produced at t1 *)
+  let time = function 0 -> 0 | _ -> 1 in
+  let last_use = function 0 -> 1 | _ -> 5 in
+  let tbl, count = Storage.remap ~ids ~time ~last_use ~cls:(fun _ -> 0) in
+  check_int "three slots" 3 count;
+  check_bool "0 vs 1" true (slot tbl 0 <> slot tbl 1);
+  check_bool "0 vs 2" true (slot tbl 0 <> slot tbl 2)
+
+let test_remap_reuse_after_death () =
+  let ids = [ 0; 1 ] in
+  let time = function 0 -> 0 | _ -> 2 in
+  let last_use = function 0 -> 1 | _ -> 3 in
+  let tbl, count = Storage.remap ~ids ~time ~last_use ~cls:(fun _ -> 0) in
+  check_int "one slot" 1 count;
+  check_int "shared" (slot tbl 0) (slot tbl 1)
+
+let test_remap_class_separation () =
+  (* same lifetimes but different classes never share *)
+  let ids = [ 0; 1 ] in
+  let time = function 0 -> 0 | _ -> 2 in
+  let last_use = function 0 -> 1 | _ -> 3 in
+  let tbl, count =
+    Storage.remap ~ids ~time ~last_use ~cls:(fun i -> i mod 2)
+  in
+  check_int "two slots" 2 count;
+  check_bool "not shared" true (slot tbl 0 <> slot tbl 1)
+
+let test_no_reuse () =
+  let tbl, count = Storage.no_reuse ~ids:[ 10; 20; 30 ] in
+  check_int "three" 3 count;
+  check_bool "distinct" true
+    (slot tbl 10 <> slot tbl 20 && slot tbl 20 <> slot tbl 30)
+
+(* Soundness property: after remapping a random schedule, no two ids whose
+   lifetimes overlap (and that could corrupt each other) share a slot.  An
+   id lives over [time id, last_use id]; sharing is corrupting iff one is
+   created strictly inside the other's live range, or both are created at
+   the same time. *)
+let prop_remap_sound =
+  QCheck.Test.make ~name:"remap never aliases overlapping lifetimes" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 20)
+        (pair (int_range 0 10) (pair (int_range 0 10) (int_range 0 2))))
+    (fun specs ->
+      let ids = List.mapi (fun i _ -> i) specs in
+      let arr = Array.of_list specs in
+      let time i = fst arr.(i) in
+      let last_use i =
+        let t, (extra, _) = arr.(i) in
+        t + extra
+      in
+      let cls i = snd (snd arr.(i)) in
+      let tbl, _ = Storage.remap ~ids ~time ~last_use ~cls in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              i >= j
+              || slot tbl i <> slot tbl j
+              || (* sharing is allowed only when the later one is created
+                    strictly after the earlier one's last use *)
+              (let first, second =
+                 if time i <= time j then (i, j) else (j, i)
+               in
+               time second > last_use first))
+            ids)
+        ids)
+
+let prop_remap_count_bounded =
+  QCheck.Test.make ~name:"remap never uses more slots than ids" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 15) (int_range 0 8))
+    (fun times ->
+      let ids = List.mapi (fun i _ -> i) times in
+      let arr = Array.of_list times in
+      let tbl, count =
+        Storage.remap ~ids ~time:(fun i -> arr.(i))
+          ~last_use:(fun i -> arr.(i) + 1)
+          ~cls:(fun _ -> ())
+      in
+      count <= List.length ids
+      && List.for_all (fun i -> slot tbl i < count) ids)
+
+let () =
+  Alcotest.run "storage"
+    [ ( "algorithm 2",
+        [ Alcotest.test_case "last use map" `Quick test_last_use_map_basic;
+          Alcotest.test_case "no consumer" `Quick test_last_use_no_consumer ] );
+      ( "algorithm 3",
+        [ Alcotest.test_case "chain needs 2 slots" `Quick test_remap_chain_two_slots;
+          Alcotest.test_case "same timestamp isolation" `Quick
+            test_remap_no_reuse_same_time;
+          Alcotest.test_case "reuse after death" `Quick test_remap_reuse_after_death;
+          Alcotest.test_case "class separation" `Quick test_remap_class_separation;
+          Alcotest.test_case "no_reuse" `Quick test_no_reuse ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_remap_sound; prop_remap_count_bounded ] ) ]

@@ -1,0 +1,100 @@
+open Repro_ir
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_w1 () =
+  let w = Weights.w1 [| 1.; 2.; 1. |] in
+  check_int "dims" 1 (Weights.dims w);
+  Alcotest.(check (array int)) "extent" [| 3 |] (Weights.extent w);
+  Alcotest.(check (array int)) "default centre" [| 1 |] (Weights.center w);
+  check_int "terms" 3 (List.length (Weights.terms w));
+  check_int "radius" 1 (Weights.radius w)
+
+let test_w1_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Weights.w1: empty")
+    (fun () -> ignore (Weights.w1 [||]))
+
+let test_w2_offsets () =
+  let w =
+    Weights.w2 [| [| 0.; -1.; 0. |]; [| -1.; 4.; -1. |]; [| 0.; -1.; 0. |] |]
+  in
+  let terms = Weights.terms w in
+  check_int "zero weights dropped" 5 (List.length terms);
+  let centre = List.assoc [| 0; 0 |] (List.map (fun (o, v) -> (o, v)) terms) in
+  check_float "centre weight" 4.0 centre;
+  check_float "north" (-1.0)
+    (List.assoc [| -1; 0 |] (List.map (fun (o, v) -> (o, v)) terms))
+
+let test_w2_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Weights.w2: ragged")
+    (fun () -> ignore (Weights.w2 [| [| 1.; 2. |]; [| 1. |] |]))
+
+let test_custom_center () =
+  (* the paper's example: Stencil(f, (x,y), [[0,1],[-1,2]], centre default
+     (m/2, m/2) = (1,1)) *)
+  let w = Weights.w2 [| [| 0.; 1. |]; [| -1.; 2. |] |] in
+  Alcotest.(check (array int)) "default centre" [| 1; 1 |] (Weights.center w);
+  let terms = List.map (fun (o, v) -> (o, v)) (Weights.terms w) in
+  check_float "f(x-1,y)" 1.0 (List.assoc [| -1; 0 |] terms);
+  check_float "f(x,y-1)" (-1.0) (List.assoc [| 0; -1 |] terms);
+  check_float "f(x,y)" 2.0 (List.assoc [| 0; 0 |] terms);
+  (* custom centre (0,0) shifts all offsets positive *)
+  let w0 = Weights.w2 ~center:[| 0; 0 |] [| [| 0.; 1. |]; [| -1.; 2. |] |] in
+  let terms0 = List.map (fun (o, v) -> (o, v)) (Weights.terms w0) in
+  check_float "f(x,y+1)" 1.0 (List.assoc [| 0; 1 |] terms0);
+  check_float "f(x+1,y+1)" 2.0 (List.assoc [| 1; 1 |] terms0)
+
+let test_center_oob () =
+  Alcotest.check_raises "outside" (Invalid_argument "Weights: centre outside tensor")
+    (fun () -> ignore (Weights.w1 ~center:[| 5 |] [| 1.; 1. |]))
+
+let test_center_rank () =
+  Alcotest.check_raises "rank" (Invalid_argument "Weights: centre rank mismatch")
+    (fun () -> ignore (Weights.w1 ~center:[| 0; 0 |] [| 1. |]))
+
+let test_w3 () =
+  let z = Array.make_matrix 3 3 0.0 in
+  let m = Array.make_matrix 3 3 0.0 in
+  m.(1).(1) <- 6.0;
+  m.(0).(1) <- -1.0;
+  let w = Weights.w3 [| z; m; z |] in
+  check_int "dims" 3 (Weights.dims w);
+  check_int "terms" 2 (List.length (Weights.terms w));
+  check_int "radius" 1 (Weights.radius w)
+
+let test_w3_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Weights.w3: ragged")
+    (fun () ->
+      ignore (Weights.w3 [| [| [| 1. |] |]; [| [| 1.; 2. |] |] |]))
+
+let test_radius_large () =
+  let w = Weights.w1 [| 1.; 0.; 0.; 0.; 1. |] in
+  check_int "radius 2" 2 (Weights.radius w)
+
+let prop_terms_sum =
+  QCheck.Test.make ~name:"terms preserve the weight sum" ~count:100
+    QCheck.(array_of_size (Gen.int_range 1 9) (float_range (-5.) 5.))
+    (fun row ->
+      let w = Weights.w1 row in
+      let sum_terms =
+        List.fold_left (fun a (_, v) -> a +. v) 0.0 (Weights.terms w)
+      in
+      let sum_row = Array.fold_left ( +. ) 0.0 row in
+      Float.abs (sum_terms -. sum_row) < 1e-9)
+
+let () =
+  Alcotest.run "weights"
+    [ ( "unit",
+        [ Alcotest.test_case "w1" `Quick test_w1;
+          Alcotest.test_case "w1 empty" `Quick test_w1_empty;
+          Alcotest.test_case "w2 offsets" `Quick test_w2_offsets;
+          Alcotest.test_case "w2 ragged" `Quick test_w2_ragged;
+          Alcotest.test_case "paper example centres" `Quick test_custom_center;
+          Alcotest.test_case "centre out of bounds" `Quick test_center_oob;
+          Alcotest.test_case "centre rank" `Quick test_center_rank;
+          Alcotest.test_case "w3" `Quick test_w3;
+          Alcotest.test_case "w3 ragged" `Quick test_w3_ragged;
+          Alcotest.test_case "radius" `Quick test_radius_large ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_terms_sum ] ) ]
