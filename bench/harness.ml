@@ -2,6 +2,7 @@
 
 open Repro_mg
 open Repro_core
+module Telemetry = Repro_runtime.Telemetry
 
 let init_gc () =
   (* keep bigarray custom-block accounting from forcing extra majors, so
@@ -99,12 +100,70 @@ let benchmarks ~dims =
     Cycle.default ~dims ~shape:Cycle.W ~smoothing:(4, 4, 4);
     Cycle.default ~dims ~shape:Cycle.W ~smoothing:(10, 0, 0) ]
 
+(* ---- structured measurement records (machine-readable trajectory) ---- *)
+
+let counters_json cs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%d" (Telemetry.json_escape k) v)
+         cs)
+  ^ "}"
+
+(* One line per measurement, greppable as ^BENCH and parseable as JSON —
+   the BENCH_*.json-compatible record every perf PR is judged against. *)
+let emit_bench_json ~bench ~n ~dims ~domains ~vname ~seconds ~counters =
+  Printf.printf
+    "BENCH \
+     {\"bench\":\"%s\",\"n\":%d,\"dims\":%d,\"domains\":%d,\"variant\":\"%s\",\"s_per_cycle\":%.6f,\"counters\":%s}\n"
+    (Telemetry.json_escape bench) n dims domains
+    (Telemetry.json_escape vname)
+    seconds (counters_json counters)
+
+(* Counter snapshot from one instrumented cycle, run outside the timed
+   region so telemetry never perturbs the measurement itself. *)
+let counter_snapshot stepper problem =
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  ignore (Solver.iterate stepper ~problem ~cycles:1 ~residuals:false ());
+  Telemetry.set_enabled false;
+  let cs = Telemetry.counters () in
+  Telemetry.reset ();
+  cs
+
+(* The disabled telemetry path must keep tier-1 timings at the seed
+   level: measure the per-call cost of the no-op instrumentation and
+   fail loudly if it is not far below measurement noise (a cycle is
+   milliseconds; 5M no-op calls must cost well under one). *)
+let assert_telemetry_noop () =
+  Telemetry.set_enabled false;
+  let iters = 5_000_000 in
+  let c = Telemetry.counter "bench.noop" in
+  let t0 = Telemetry.now_ns () in
+  for _ = 1 to iters do
+    let t = Telemetry.begin_span () in
+    Telemetry.end_span t "noop";
+    Telemetry.add c 1
+  done;
+  let per_call =
+    float_of_int (Telemetry.now_ns () - t0) /. float_of_int iters
+  in
+  Printf.printf
+    "telemetry disabled-path: %.1f ns per span+counter site (budget 100 ns)\n"
+    per_call;
+  if per_call > 100.0 then
+    failwith "telemetry disabled path exceeds the no-op budget"
+
 (* Time every variant of one benchmark at one size; returns
    (variant, seconds-per-cycle) in order.  Variants are measured
    round-robin — one timed run each per round — so that machine noise
    phases (frequency scaling, co-tenants) hit every variant equally, and
-   the per-variant minimum over rounds is reported. *)
-let run_benchmark ?(domains = 1) ?(cycles = 2) ?(reps = 2) ?variants cfg ~n =
+   the per-variant minimum over rounds is reported.  With [json] (the
+   default) each variant also gets one instrumented cycle after the
+   timed region, and its counter snapshot is emitted as a BENCH record. *)
+let run_benchmark ?(domains = 1) ?(cycles = 2) ?(reps = 2) ?(json = true)
+    ?variants cfg ~n =
   let variants = Option.value variants ~default:all_variants in
   let problem =
     Problem.poisson_random ~dims:cfg.Cycle.dims ~n ~seed:20170704
@@ -131,7 +190,11 @@ let run_benchmark ?(domains = 1) ?(cycles = 2) ?(reps = 2) ?variants cfg ~n =
       prepared
   done;
   List.map
-    (fun (v, rt, _, best) ->
+    (fun (v, rt, stepper, best) ->
+      if json then
+        emit_bench_json ~bench:(Cycle.bench_name cfg) ~n
+          ~dims:cfg.Cycle.dims ~domains ~vname:v.vname ~seconds:!best
+          ~counters:(counter_snapshot stepper problem);
       Exec.free_runtime rt;
       (v.vname, !best))
     prepared

@@ -15,7 +15,7 @@ open Repro_core
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|table3|fig9|fig10|fig11a|fig11b|fig12|nas|scaling|ablation|quick|bechamel] \
+     [all|table3|fig9|fig10|fig11a|fig11b|fig12|nas|scaling|ablation|quick|bechamel|telemetry] \
      [--class B|C] [--cycles N] [--reps N]";
   exit 1
 
@@ -131,9 +131,30 @@ let () =
     Figures.ablation ~cls:a.cls ~cycles:a.cycles ~reps:a.reps ()
   | "quick" ->
     Printf.printf "PolyMG quick smoke run (tiny sizes)\n";
+    Harness.assert_telemetry_noop ();
     let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(4, 4, 4) in
     let rows = Harness.run_benchmark ~cycles:2 ~reps:1 cfg ~n:128 in
     Harness.print_speedups ~title:"V-2D-4-4-4 N=128" ~base:"polymg-naive" rows
+  | "telemetry" ->
+    (* instrumentation-off cost check: the no-op budget plus a paired
+       timing of the same stepper with telemetry off vs on *)
+    Harness.assert_telemetry_noop ();
+    let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(4, 4, 4) in
+    let n = 256 in
+    let problem = Problem.poisson_random ~dims:2 ~n ~seed:7 in
+    let rt = Exec.runtime () in
+    let stepper = Solver.polymg_stepper cfg ~n ~opts:Options.opt_plus ~rt in
+    let t_off = Harness.time_stepper ~reps:a.reps ~cycles:a.cycles stepper problem in
+    Repro_runtime.Telemetry.set_enabled true;
+    let t_on = Harness.time_stepper ~reps:a.reps ~cycles:a.cycles stepper problem in
+    Repro_runtime.Telemetry.set_enabled false;
+    Repro_runtime.Telemetry.reset ();
+    Exec.free_runtime rt;
+    Printf.printf
+      "V-2D-4-4-4 N=%d opt+: %.4f s/cycle telemetry off, %.4f s/cycle on \
+       (overhead %+.1f%%)\n"
+      n t_off t_on
+      (100.0 *. ((t_on /. t_off) -. 1.0))
   | "all" ->
     header ();
     Tables.table3 ~cycles:a.cycles ~reps:1 ();

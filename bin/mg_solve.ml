@@ -8,8 +8,10 @@
 open Cmdliner
 open Repro_mg
 open Repro_core
+module Telemetry = Repro_runtime.Telemetry
 
-let run dims cycle smoothing levels n variant cycles domains verbose =
+let run dims cycle smoothing levels n variant cycles domains verbose profile
+    trace =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -19,7 +21,9 @@ let run dims cycle smoothing levels n variant cycles domains verbose =
     | "V" -> Cycle.V
     | "W" -> Cycle.W
     | "F" -> Cycle.F
-    | _ -> `Error "cycle must be V, W or F" |> fun _ -> exit 2
+    | _ ->
+      prerr_endline "cycle must be V, W or F";
+      exit 2
   in
   let n1, n2, n3 =
     match String.split_on_char ',' smoothing with
@@ -69,7 +73,12 @@ let run dims cycle smoothing levels n variant cycles domains verbose =
   in
   Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d\n"
     (Cycle.bench_name cfg) n levels variant domains;
+  if profile || trace <> None then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
   let r = Solver.iterate stepper ~problem ~cycles () in
+  Telemetry.set_enabled false;
   List.iter
     (fun (s : Solver.cycle_stats) ->
       Printf.printf "  cycle %2d: residual %.6e  (%.4fs)\n" s.Solver.cycle
@@ -78,6 +87,28 @@ let run dims cycle smoothing levels n variant cycles domains verbose =
   let err = Verify.error_l2 ~v:r.Solver.v ~exact:problem.Problem.exact in
   Printf.printf "total %.4fs; error vs continuous solution: %.6e\n"
     r.Solver.total_seconds err;
+  if profile then begin
+    Format.printf "%t@." (fun fmt -> Telemetry.report fmt);
+    let span_total =
+      float_of_int (Telemetry.span_total_ns "solver.cycle") /. 1e9
+    in
+    Printf.printf "profile: cycle-span total %.4fs vs wall-clock %.4fs (%+.2f%%)\n"
+      span_total r.Solver.total_seconds
+      (if r.Solver.total_seconds = 0.0 then 0.0
+       else
+         100.0 *. (span_total -. r.Solver.total_seconds)
+         /. r.Solver.total_seconds)
+  end;
+  (match trace with
+   | Some path -> (
+     try
+       Telemetry.write_chrome_trace path;
+       Printf.printf "trace: wrote %s (load in chrome://tracing or Perfetto)\n"
+         path
+     with Sys_error msg ->
+       Printf.eprintf "trace: cannot write %s\n" msg;
+       exit 1)
+   | None -> ());
   Exec.free_runtime rt
 
 let dims_t =
@@ -114,12 +145,25 @@ let domains_t =
 let verbose_t =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Print the optimized plan.")
 
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Record telemetry and print the per-stage/per-group profile.")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON file of the run.")
+
 let cmd =
   let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
   Cmd.v
     (Cmd.info "mg_solve" ~doc)
     Term.(
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
-      $ cycles_t $ domains_t $ verbose_t)
+      $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,14 +1,103 @@
 (* Compiler introspection: prints the pipeline DAG, the grouping and
-   storage mapping (the Fig. 6 dump), or the generated C (Fig. 8).
+   storage mapping (the Fig. 6 dump), the generated C (Fig. 8), or the
+   plan "explain" — predicted plan metrics next to measured telemetry
+   from a trial cycle.
 
    Examples:
      polymg_dump --what dag
      polymg_dump --what groups --variant opt+ --smoothing 4,4,4
-     polymg_dump --what c --dims 2 --cycle V > vcycle.c *)
+     polymg_dump --what c --dims 2 --cycle V > vcycle.c
+     polymg_dump --what explain --variant opt+ -n 64 *)
 
 open Cmdliner
 open Repro_mg
 open Repro_core
+module Telemetry = Repro_runtime.Telemetry
+
+(* Predicted side: what the optimizer claims the plan will do.  Storage
+   savings are measured against ablated rebuilds of the same plan (the
+   Fig. 11b methodology). *)
+let explain_predicted pipeline cfg ~(opts : Options.t) ~n plan =
+  let params = Cycle.params cfg ~n in
+  let computed = Exec.points_computed plan in
+  let domain = Exec.points_domain plan in
+  Printf.printf "predicted:\n";
+  Printf.printf "  groups %d  members %d  arrays %d\n" (Plan.group_count plan)
+    (Plan.member_count plan) (Plan.array_count plan);
+  let ab = Plan.total_array_bytes plan in
+  let ab0 =
+    Plan.total_array_bytes
+      (Plan.build pipeline ~opts:{ opts with Options.array_reuse = false } ~n
+         ~params)
+  in
+  Printf.printf "  full-array bytes %d (no array-reuse: %d, saved %.1f%%)\n" ab
+    ab0
+    (if ab0 = 0 then 0.0
+     else 100.0 *. (1.0 -. (float_of_int ab /. float_of_int ab0)));
+  let sb = Plan.scratch_bytes_per_thread plan in
+  let sb0 =
+    Plan.scratch_bytes_per_thread
+      (Plan.build pipeline ~opts:{ opts with Options.scratch_reuse = false } ~n
+         ~params)
+  in
+  Printf.printf
+    "  scratch bytes/thread %d (no scratch-reuse: %d, saved %.1f%%)\n" sb sb0
+    (if sb0 = 0 then 0.0
+     else 100.0 *. (1.0 -. (float_of_int sb /. float_of_int sb0)));
+  Printf.printf
+    "  points computed %d  useful %d  expected redundant fraction %.2f%%\n"
+    computed domain
+    (100.0 *. ((float_of_int computed /. float_of_int domain) -. 1.0));
+  Array.iter
+    (fun g ->
+      match g with
+      | Plan.G_tiled tg ->
+        Printf.printf
+          "  group %d: overlapped, %d members, %d tiles, redundancy %.2f%%\n"
+          tg.Plan.gid
+          (Array.length tg.Plan.members)
+          (Array.length tg.Plan.tiles)
+          (100.0
+           *. Repro_poly.Regions.redundancy tg.Plan.geom
+                ~tile_sizes:tg.Plan.tile_sizes)
+      | Plan.G_diamond dg ->
+        let scheme =
+          match dg.Plan.scheme with
+          | Plan.Sched_diamond { sigma } ->
+            Printf.sprintf "diamond sigma=%d" sigma
+          | Plan.Sched_skewed { tau; sigma } ->
+            Printf.sprintf "skewed tau=%d sigma=%d" tau sigma
+        in
+        Printf.printf "  group %d: time-tiled (%s), %d steps, redundancy 0%%\n"
+          dg.Plan.gid scheme
+          (Array.length dg.Plan.steps))
+    plan.Plan.groups
+
+(* Measured side: one instrumented trial cycle of the same variant. *)
+let explain_measured cfg ~opts ~n =
+  let problem = Problem.poisson ~dims:cfg.Cycle.dims ~n in
+  let rt = Exec.runtime () in
+  let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  ignore (Solver.iterate stepper ~problem ~cycles:1 ~residuals:false ());
+  Telemetry.set_enabled false;
+  Printf.printf "measured (1 trial cycle):\n";
+  Format.printf "%t@." (fun fmt -> Telemetry.report fmt);
+  let v name =
+    List.assoc_opt name (Telemetry.counters ()) |> Option.value ~default:0
+  in
+  let computed = v "exec.points_computed" in
+  let redundant = v "exec.points_redundant" in
+  Printf.printf "  measured redundant fraction %.2f%%  pool hit rate %s\n"
+    (if computed = redundant then 0.0
+     else
+       100.0 *. float_of_int redundant /. float_of_int (computed - redundant))
+    (let acq = v "mempool.acquire" in
+     if acq = 0 then "n/a (pooling off)"
+     else Printf.sprintf "%.0f%%" (100.0 *. float_of_int (v "mempool.hit") /. float_of_int acq));
+  Telemetry.reset ();
+  Exec.free_runtime rt
 
 let run dims cycle smoothing levels n variant what =
   let shape =
@@ -41,7 +130,13 @@ let run dims cycle smoothing levels n variant what =
   | "c" ->
     let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
     print_string (C_emit.to_string plan)
-  | _ -> prerr_endline "what must be dag, groups or c"; exit 2
+  | "explain" ->
+    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+    Printf.printf "== plan explain: %s  n=%d  variant=%s ==\n"
+      (Cycle.bench_name cfg) n (Options.name opts);
+    explain_predicted pipeline cfg ~opts ~n plan;
+    explain_measured cfg ~opts ~n
+  | _ -> prerr_endline "what must be dag, groups, c or explain"; exit 2
 
 let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
 let cycle_t = Arg.(value & opt string "V" & info [ "cycle" ] ~doc:"V, W or F.")
@@ -58,7 +153,7 @@ let variant_t =
 let what_t =
   Arg.(
     value & opt string "groups"
-    & info [ "what" ] ~doc:"What to print: dag, groups, or c.")
+    & info [ "what" ] ~doc:"What to print: dag, groups, c, or explain.")
 
 let cmd =
   let doc = "inspect PolyMG pipelines, groupings and generated code" in

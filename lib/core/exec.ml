@@ -4,6 +4,11 @@ module Buf = Repro_grid.Buf
 module Grid = Repro_grid.Grid
 module Parallel = Repro_runtime.Parallel
 module Mempool = Repro_runtime.Mempool
+module Telemetry = Repro_runtime.Telemetry
+
+let c_tiles = Telemetry.counter "exec.tiles"
+let c_points = Telemetry.counter "exec.points_computed"
+let c_redundant = Telemetry.counter "exec.points_redundant"
 
 type runtime = {
   par : Parallel.t;
@@ -128,6 +133,7 @@ let source_of_binding ctx ~(member : Plan.member)
 let run_tile ctx (tg : Plan.tiled_group) scratch tile =
   let req = Regions.demand tg.Plan.geom ~tile in
   let nm = Array.length tg.Plan.members in
+  Telemetry.add c_tiles 1;
   (* per member: the source its in-group consumers read (its scratchpad) *)
   let tile_srcs : Compile.source option array = Array.make nm None in
   for p = 0 to nm - 1 do
@@ -135,13 +141,14 @@ let run_tile ctx (tg : Plan.tiled_group) scratch tile =
     let id, region = req.(p) in
     assert (id = m.Plan.func.Func.id);
     if not (Box.is_empty region) then begin
+      let t_stage = Telemetry.begin_span () in
       let interior = Box.of_sizes m.Plan.sizes in
       let srcs =
         Array.init
           (Array.length m.Plan.src_of)
           (source_of_binding ctx ~member:m ~tile_srcs)
       in
-      match (m.Plan.scratch_slot, m.Plan.array_id) with
+      (match (m.Plan.scratch_slot, m.Plan.array_id) with
       | Some slot, arr ->
         let dst = region_source scratch.(slot) region in
         m.Plan.compiled.Compile.run ~srcs ~dst ~interior ~region;
@@ -160,7 +167,10 @@ let run_tile ctx (tg : Plan.tiled_group) scratch tile =
           ~region:(Box.inter own region)
       | None, None ->
         invalid_arg
-          (m.Plan.func.Func.name ^ ": member with neither scratch nor array")
+          (m.Plan.func.Func.name ^ ": member with neither scratch nor array"));
+      if t_stage <> 0 then
+        Telemetry.end_span t_stage ~cat:"stage"
+          ("stage:" ^ m.Plan.func.Func.name)
     end
   done
 
@@ -243,6 +253,7 @@ let run_diamond ctx (dg : Plan.diamond_group) =
   in
   Array.iter
     (fun front ->
+      let t_front = Telemetry.begin_span () in
       Parallel.parallel_for ctx.rt.par ~lo:0 ~hi:(Array.length front - 1)
         (fun fi ->
           iter_rows front.(fi) (fun ~t ~xlo ~xhi ->
@@ -267,9 +278,59 @@ let run_diamond ctx (dg : Plan.diamond_group) =
               hi.(0) <- xhi;
               let region = Box.full lo hi in
               m.Plan.compiled.Compile.run ~srcs ~dst:(buf_of t) ~interior
-                ~region)))
+                ~region));
+      if t_front <> 0 then
+        Telemetry.end_span t_front ~cat:"stage"
+          ~args:[ ("tiles", Telemetry.Int (Array.length front)) ]
+          "diamond.front")
     fronts;
   if ctx.plan.Plan.opts.Options.pool then Mempool.release ctx.rt.pool tmp
+
+(* ------------------------------------------------------------------ *)
+(* Work accounting (the paper's redundant-computation metric)           *)
+
+let group_points (group : Plan.group_exec) =
+  match group with
+  | Plan.G_tiled tg ->
+    let computed =
+      Array.fold_left
+        (fun acc tile ->
+          Array.fold_left
+            (fun acc (_, b) -> acc + Box.points b)
+            acc
+            (Regions.demand tg.Plan.geom ~tile))
+        0 tg.Plan.tiles
+    in
+    let domain =
+      Array.fold_left
+        (fun acc (m : Plan.member) ->
+          acc + Box.points (Box.of_sizes m.Plan.sizes))
+        0 tg.Plan.members
+    in
+    (computed, domain)
+  | Plan.G_diamond dg ->
+    let inner =
+      Array.fold_left ( * ) 1
+        (Array.sub dg.Plan.sizes 1 (Array.length dg.Plan.sizes - 1))
+    in
+    let p = Array.length dg.Plan.steps * dg.Plan.sizes.(0) * inner in
+    (p, p)
+
+(* Demand regions are recomputed per tile, so cache per-group counts by
+   plan uid (only consulted from the sequential group loop, and only
+   when telemetry is enabled). *)
+let points_memo : (int, (int * int) array) Hashtbl.t = Hashtbl.create 8
+
+let group_points_cached plan gi =
+  let arr =
+    match Hashtbl.find_opt points_memo plan.Plan.uid with
+    | Some a -> a
+    | None ->
+      let a = Array.map group_points plan.Plan.groups in
+      Hashtbl.replace points_memo plan.Plan.uid a;
+      a
+  in
+  arr.(gi)
 
 (* ------------------------------------------------------------------ *)
 (* Top level                                                            *)
@@ -315,8 +376,10 @@ let run plan rt ~inputs ~outputs =
     plan.Plan.output_arrays;
   let ctx = { plan; rt; bufs; input_grids; func_sizes } in
   let opts = plan.Plan.opts in
+  let t_run = Telemetry.begin_span () in
   Array.iteri
     (fun gi group ->
+      let t_group = Telemetry.begin_span () in
       (* acquire arrays whose first use is this group *)
       Array.iteri
         (fun a (info : Plan.array_info) ->
@@ -354,26 +417,41 @@ let run plan rt ~inputs ~outputs =
                 bufs.(a) <- None
               | None -> ()
             end)
-          plan.Plan.arrays)
-    plan.Plan.groups
+          plan.Plan.arrays;
+      if t_group <> 0 then begin
+        let computed, domain = group_points_cached plan gi in
+        Telemetry.add c_points computed;
+        Telemetry.add c_redundant (computed - domain);
+        let name, shape_args =
+          match group with
+          | Plan.G_tiled tg ->
+            ( Printf.sprintf "group%d:tiled" gi,
+              [ ("tiles", Telemetry.Int (Array.length tg.Plan.tiles));
+                ("members", Telemetry.Int (Array.length tg.Plan.members)) ] )
+          | Plan.G_diamond dg ->
+            ( Printf.sprintf "group%d:diamond" gi,
+              [ ("steps", Telemetry.Int (Array.length dg.Plan.steps)) ] )
+        in
+        Telemetry.end_span t_group ~cat:"exec"
+          ~args:
+            (("gid", Telemetry.Int gi)
+             :: ("points", Telemetry.Int computed)
+             :: ("redundant_points", Telemetry.Int (computed - domain))
+             :: shape_args)
+          name
+      end)
+    plan.Plan.groups;
+  if t_run <> 0 then
+    Telemetry.end_span t_run ~cat:"exec"
+      ~args:[ ("groups", Telemetry.Int (Array.length plan.Plan.groups)) ]
+      "exec.run"
 
 let points_computed plan =
   Array.fold_left
-    (fun acc group ->
-      match group with
-      | Plan.G_tiled tg ->
-        Array.fold_left
-          (fun acc tile ->
-            Array.fold_left
-              (fun acc (_, b) -> acc + Box.points b)
-              acc
-              (Regions.demand tg.Plan.geom ~tile))
-          acc tg.Plan.tiles
-      | Plan.G_diamond dg ->
-        let inner =
-          Array.fold_left ( * ) 1
-            (Array.sub dg.Plan.sizes 1 (Array.length dg.Plan.sizes - 1))
-        in
-        acc
-        + (Array.length dg.Plan.steps * dg.Plan.sizes.(0) * inner))
+    (fun acc g -> acc + fst (group_points g))
+    0 plan.Plan.groups
+
+let points_domain plan =
+  Array.fold_left
+    (fun acc g -> acc + snd (group_points g))
     0 plan.Plan.groups

@@ -28,3 +28,8 @@ val run :
 val points_computed : Plan.t -> int
 (** Total grid points one execution evaluates, including overlapped-tiling
     redundancy — the work metric behind the redundancy statistics. *)
+
+val points_domain : Plan.t -> int
+(** Useful grid points per execution: the sum of every member's interior
+    domain.  [points_computed plan / points_domain plan - 1] is the
+    redundant-computation fraction of Fig. 11a. *)

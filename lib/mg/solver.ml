@@ -1,4 +1,5 @@
 module Grid = Repro_grid.Grid
+module Telemetry = Repro_runtime.Telemetry
 open Repro_core
 
 type cycle_stats = {
@@ -23,7 +24,12 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
   let total = ref 0.0 in
   for c = 1 to cycles do
     let t0 = Unix.gettimeofday () in
+    let t_cycle = Telemetry.begin_span () in
     stepper ~v:!cur ~f:problem.Problem.f ~out:!next;
+    if t_cycle <> 0 then
+      Telemetry.end_span t_cycle ~cat:"solver"
+        ~args:[ ("cycle", Telemetry.Int c) ]
+        "solver.cycle";
     let dt = Unix.gettimeofday () -. t0 in
     total := !total +. dt;
     let tmp = !cur in

@@ -8,6 +8,14 @@ type stats = {
   peak_live_bytes : int;
 }
 
+(* Global telemetry counters (shared by all pools; in practice one pool
+   per runtime).  Updates are no-ops while telemetry is disabled. *)
+let c_acquire = Telemetry.counter "mempool.acquire"
+let c_release = Telemetry.counter "mempool.release"
+let c_hit = Telemetry.counter "mempool.hit"
+let c_miss = Telemetry.counter "mempool.miss"
+let c_peak = Telemetry.counter "mempool.peak_live_bytes"
+
 type entry = { buf : Buf.t; mutable free : bool }
 
 type t = {
@@ -29,7 +37,8 @@ let create () =
 
 let note_live t delta =
   t.live_bytes <- t.live_bytes + delta;
-  if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes
+  if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes;
+  Telemetry.max_to c_peak t.peak_live_bytes
 
 (* Best fit: smallest free buffer that is large enough. *)
 let find_fit t len =
@@ -44,16 +53,19 @@ let find_fit t len =
 
 let acquire t len =
   if len < 0 then invalid_arg "Mempool.acquire: negative length";
+  Telemetry.add c_acquire 1;
   match find_fit t len with
   | Some e ->
     e.free <- false;
     t.reuse_hits <- t.reuse_hits + 1;
+    Telemetry.add c_hit 1;
     note_live t (Buf.bytes e.buf);
     e.buf
   | None ->
     let buf = Buf.create_uninit len in
     t.entries <- { buf; free = false } :: t.entries;
     t.fresh_allocs <- t.fresh_allocs + 1;
+    Telemetry.add c_miss 1;
     t.pool_bytes <- t.pool_bytes + Buf.bytes buf;
     note_live t (Buf.bytes buf);
     buf
@@ -65,6 +77,7 @@ let release t buf =
   in
   let e = find t.entries in
   if e.free then invalid_arg "Mempool.release: double release";
+  Telemetry.add c_release 1;
   e.free <- true;
   t.live_bytes <- t.live_bytes - Buf.bytes e.buf
 

@@ -20,7 +20,11 @@ type t = {
 
 let size t = t.nproc
 
-let run_share job =
+let c_regions = Telemetry.counter "parallel.regions"
+let c_chunks = Telemetry.counter "parallel.chunks"
+let c_busy_ns = Telemetry.counter "parallel.busy_ns"
+
+let run_share_plain job =
   let rec loop () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i <= job.hi then begin
@@ -32,6 +36,32 @@ let run_share job =
     end
   in
   loop ()
+
+(* Instrumented variant: one span per domain per parallel region, tagged
+   with the number of dynamically claimed chunks. *)
+let run_share_timed job =
+  let t0 = Telemetry.now_ns () in
+  let chunks = ref 0 in
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i <= job.hi then begin
+      incr chunks;
+      (try job.f i
+       with e ->
+         ignore (Atomic.compare_and_set job.failed None (Some e)));
+      ignore (Atomic.fetch_and_add job.left (-1));
+      loop ()
+    end
+  in
+  loop ();
+  Telemetry.add c_chunks !chunks;
+  Telemetry.add c_busy_ns (Telemetry.now_ns () - t0);
+  Telemetry.end_span t0 ~cat:"parallel"
+    ~args:[ ("chunks", Telemetry.Int !chunks) ]
+    "parallel.share"
+
+let run_share job =
+  if Telemetry.enabled () then run_share_timed job else run_share_plain job
 
 let worker t =
   let seen = ref 0 in
@@ -78,15 +108,31 @@ let create nproc =
 let sequential = create 1
 
 let inline_for ~lo ~hi f =
-  for i = lo to hi do
-    f i
-  done
+  if Telemetry.enabled () then begin
+    let t0 = Telemetry.now_ns () in
+    for i = lo to hi do
+      f i
+    done;
+    Telemetry.add c_chunks (hi - lo + 1);
+    Telemetry.add c_busy_ns (Telemetry.now_ns () - t0);
+    Telemetry.end_span t0 ~cat:"parallel"
+      ~args:[ ("chunks", Telemetry.Int (hi - lo + 1)) ]
+      "parallel.inline"
+  end
+  else
+    for i = lo to hi do
+      f i
+    done
 
 let parallel_for t ~lo ~hi f =
   if hi < lo then ()
   else if t.nproc = 1 || not (Atomic.compare_and_set t.in_region false true)
-  then inline_for ~lo ~hi f
+  then begin
+    Telemetry.add c_regions 1;
+    inline_for ~lo ~hi f
+  end
   else begin
+    Telemetry.add c_regions 1;
     let job =
       { f; hi;
         next = Atomic.make lo;

@@ -1,0 +1,265 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type span = {
+  name : string;
+  cat : string;
+  tid : int;
+  start_ns : int;
+  dur_ns : int;
+  args : (string * arg) list;
+}
+
+(* A single global flag: the disabled path is one atomic load (a plain
+   mov on x86) and a predictable branch, before any clock read. *)
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain span buffers.  Each domain appends to its own growable
+   array (no sharing on the record path); buffers register themselves in
+   a global list on first use so the sinks can merge them. *)
+
+let dummy_span =
+  { name = ""; cat = ""; tid = 0; start_ns = 0; dur_ns = 0; args = [] }
+
+type dbuf = { tid : int; mutable sp : span array; mutable len : int }
+
+let registry : dbuf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let dbuf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { tid = (Domain.self () :> int);
+          sp = Array.make 1024 dummy_span;
+          len = 0 }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let record sp =
+  let b = Domain.DLS.get dbuf_key in
+  if b.len = Array.length b.sp then begin
+    let bigger = Array.make (2 * b.len) dummy_span in
+    Array.blit b.sp 0 bigger 0 b.len;
+    b.sp <- bigger
+  end;
+  b.sp.(b.len) <- sp;
+  b.len <- b.len + 1
+
+let begin_span () = if Atomic.get enabled_flag then now_ns () else 0
+
+let end_span t0 ?(cat = "") ?(args = []) name =
+  if t0 <> 0 && Atomic.get enabled_flag then
+    let stop = now_ns () in
+    record
+      { name;
+        cat;
+        tid = (Domain.self () :> int);
+        start_ns = t0;
+        dur_ns = stop - t0;
+        args }
+
+let with_span ?cat ?args name f =
+  let t0 = begin_span () in
+  match f () with
+  | v ->
+    end_span t0 ?cat ?args name;
+    v
+  | exception e ->
+    end_span t0 ?cat ?args name;
+    raise e
+
+let spans () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.concat_map (fun b -> Array.to_list (Array.sub b.sp 0 b.len)) bufs
+  |> List.sort (fun a b -> compare a.start_ns b.start_ns)
+
+let span_total_ns name =
+  List.fold_left
+    (fun acc s -> if s.name = name then acc + s.dur_ns else acc)
+    0 (spans ())
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counter = { cname : string; v : int Atomic.t }
+
+let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let counter_mutex = Mutex.create ()
+
+let counter name =
+  Mutex.lock counter_mutex;
+  let c =
+    match Hashtbl.find_opt counter_registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; v = Atomic.make 0 } in
+      Hashtbl.replace counter_registry name c;
+      c
+  in
+  Mutex.unlock counter_mutex;
+  c
+
+let add c n =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.v n)
+
+let max_to c n =
+  if Atomic.get enabled_flag then begin
+    let rec go () =
+      let cur = Atomic.get c.v in
+      if n > cur && not (Atomic.compare_and_set c.v cur n) then go ()
+    in
+    go ()
+  end
+
+let value c = Atomic.get c.v
+
+let counters () =
+  Mutex.lock counter_mutex;
+  let all =
+    Hashtbl.fold
+      (fun _ c acc -> (c.cname, Atomic.get c.v) :: acc)
+      counter_registry []
+  in
+  Mutex.unlock counter_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun b -> b.len <- 0) !registry;
+  Mutex.unlock registry_mutex;
+  Mutex.lock counter_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.v 0) counter_registry;
+  Mutex.unlock counter_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let report fmt =
+  let sp = spans () in
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let count, total =
+        Option.value (Hashtbl.find_opt tbl s.name) ~default:(0, 0)
+      in
+      Hashtbl.replace tbl s.name (count + 1, total + s.dur_ns))
+    sp;
+  let rows = Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl [] in
+  let rows = List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows in
+  (* wall = the outermost measured region: the cycle spans if present,
+     otherwise the largest aggregate *)
+  let wall =
+    match List.find_opt (fun (n, _, _) -> n = "solver.cycle") rows with
+    | Some (_, _, t) -> t
+    | None -> List.fold_left (fun acc (_, _, t) -> Int.max acc t) 0 rows
+  in
+  Format.fprintf fmt "@[<v>== telemetry: spans ==@,";
+  Format.fprintf fmt "%-36s %8s %12s %12s %7s@," "name" "count" "total ms"
+    "mean us" "wall";
+  List.iter
+    (fun (name, c, t) ->
+      Format.fprintf fmt "%-36s %8d %12.3f %12.1f %6.1f%%@," name c
+        (float_of_int t /. 1e6)
+        (float_of_int t /. float_of_int c /. 1e3)
+        (if wall = 0 then 0.0
+         else 100.0 *. float_of_int t /. float_of_int wall))
+    rows;
+  let busy : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if s.cat = "parallel" then begin
+        let t, n = Option.value (Hashtbl.find_opt busy s.tid) ~default:(0, 0) in
+        let chunks =
+          List.fold_left
+            (fun acc kv ->
+              match kv with "chunks", Int c -> acc + c | _ -> acc)
+            0 s.args
+        in
+        Hashtbl.replace busy s.tid (t + s.dur_ns, n + chunks)
+      end)
+    sp;
+  if Hashtbl.length busy > 0 then begin
+    Format.fprintf fmt "== telemetry: per-domain busy ==@,";
+    Hashtbl.fold (fun tid tn acc -> (tid, tn) :: acc) busy []
+    |> List.sort compare
+    |> List.iter (fun (tid, (t, n)) ->
+           Format.fprintf fmt "domain %d: %.3f ms busy, %d chunks@," tid
+             (float_of_int t /. 1e6)
+             n)
+  end;
+  Format.fprintf fmt "== telemetry: counters ==@,";
+  List.iter
+    (fun (n, v) -> Format.fprintf fmt "%-36s %d@," n v)
+    (counters ());
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_finite f then Printf.sprintf "%.17g" f
+    else "\"" ^ string_of_float f ^ "\""
+  | Str s -> "\"" ^ json_escape s ^ "\""
+
+let chrome_trace () =
+  let sp = spans () in
+  let t0 = match sp with [] -> 0 | s :: _ -> s.start_ns in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape s.name)
+           (json_escape (if s.cat = "" then "default" else s.cat))
+           s.tid
+           (float_of_int (s.start_ns - t0) /. 1e3)
+           (float_of_int s.dur_ns /. 1e3));
+      (match s.args with
+       | [] -> ()
+       | args ->
+         Buffer.add_string b ",\"args\":{";
+         List.iteri
+           (fun j (k, v) ->
+             if j > 0 then Buffer.add_char b ',';
+             Buffer.add_string b ("\"" ^ json_escape k ^ "\":" ^ arg_json v))
+           args;
+         Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    sp;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  output_string oc (chrome_trace ());
+  close_out oc

@@ -1,0 +1,101 @@
+(** Runtime telemetry: monotonic-clock spans and atomic counters.
+
+    The engine behind [mg_solve --profile]/[--trace], [polymg_dump
+    explain] and the bench harness counter snapshots.  It is designed so
+    that the {e disabled} state (the default) costs a single
+    branch-predictable flag test per call site: {!begin_span} returns the
+    immediate token [0] without reading the clock, {!end_span} and
+    counter updates return immediately, and nothing allocates.  Tier-1
+    timings are therefore unperturbed when telemetry is off.
+
+    When enabled, completed spans are appended to per-domain buffers
+    (registered once per domain, no cross-domain contention on the hot
+    path) and counters are updated with atomic read-modify-writes.  Two
+    sinks consume the recorded data: {!report}, a human-readable profile
+    table, and {!chrome_trace}, trace-event JSON that
+    [chrome://tracing]/Perfetto loads directly.
+
+    Recording is multi-domain safe; the sinks ({!spans}, {!report},
+    {!chrome_trace}) and {!reset} must be called while no domain is
+    actively recording (i.e. between plan executions). *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string  (** span argument payloads, shown in trace viewers *)
+
+type span = {
+  name : string;
+  cat : string;  (** category, e.g. ["exec"], ["stage"], ["parallel"] *)
+  tid : int;  (** recording domain's id *)
+  start_ns : int;  (** monotonic clock, nanoseconds *)
+  dur_ns : int;
+  args : (string * arg) list;
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drops every recorded span and zeroes every counter. *)
+
+val now_ns : unit -> int
+(** Raw monotonic clock in nanoseconds (always live, even when
+    disabled). *)
+
+val begin_span : unit -> int
+(** Start-of-span token: the current monotonic time, or [0] when
+    disabled.  No allocation either way. *)
+
+val end_span : int -> ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** [end_span t0 name] records a completed span opened at [begin_span]'s
+    token [t0].  A no-op (without evaluating defaults) when [t0 = 0] or
+    telemetry is disabled.  Call sites that must stay allocation-free
+    when disabled should guard argument construction with [t0 <> 0]. *)
+
+val with_span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Convenience wrapper; records the span even when [f] raises. *)
+
+val spans : unit -> span list
+(** All completed spans, sorted by start time. *)
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Interns a counter by name: the same name always yields the same
+    counter.  Create counters once (at module init) — creation takes a
+    lock; updates are lock-free. *)
+
+val add : counter -> int -> unit
+(** Atomic increment; a no-op when disabled. *)
+
+val max_to : counter -> int -> unit
+(** Raises the counter to [n] if [n] is greater (atomic); a no-op when
+    disabled. *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+(** {2 Sinks} *)
+
+val report : Format.formatter -> unit
+(** Profile table: spans aggregated by name (count, total, mean, share
+    of wall-clock), per-domain busy time from ["parallel"]-category
+    spans, and all counters. *)
+
+val span_total_ns : string -> int
+(** Sum of [dur_ns] over recorded spans with the given name. *)
+
+val chrome_trace : unit -> string
+(** Chrome trace-event JSON (["X"] complete events, microsecond
+    timestamps relative to the first span). *)
+
+val write_chrome_trace : string -> unit
+(** Writes {!chrome_trace} to a file. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping helper (shared with the bench harness). *)

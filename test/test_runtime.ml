@@ -132,6 +132,33 @@ let test_mempool_clear () =
   Mempool.clear p;
   check_int "cleared" 0 (Mempool.stats p).Mempool.fresh_allocs
 
+(* End-to-end pooling check (paper §3.2.3): every full-array request of
+   the second cycle must be served from the pool.  Fresh allocations are
+   exact-size and best-fit matching is deterministic, so the acquire
+   sequence of cycle 2 replays cycle 1 with hits only. *)
+let test_mempool_solver_two_cycles () =
+  let module Cycle = Repro_mg.Cycle in
+  let module Solver = Repro_mg.Solver in
+  let module Problem = Repro_mg.Problem in
+  let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(4, 4, 4) in
+  let n = Cycle.min_n cfg * 8 in
+  let rt = Repro_core.Exec.runtime () in
+  let stepper =
+    Solver.polymg_stepper cfg ~n ~opts:Repro_core.Options.opt_plus ~rt
+  in
+  let problem = Problem.poisson ~dims:2 ~n in
+  ignore (Solver.iterate stepper ~problem ~cycles:1 ~residuals:false ());
+  let s1 = Mempool.stats rt.Repro_core.Exec.pool in
+  check_bool "cycle 1 allocates" true (s1.Mempool.fresh_allocs > 0);
+  ignore (Solver.iterate stepper ~problem ~cycles:1 ~residuals:false ());
+  let s2 = Mempool.stats rt.Repro_core.Exec.pool in
+  check_int "no fresh allocations in cycle 2" s1.Mempool.fresh_allocs
+    s2.Mempool.fresh_allocs;
+  check_int "cycle 2 is 100% pool hits"
+    ((2 * s1.Mempool.reuse_hits) + s1.Mempool.fresh_allocs)
+    s2.Mempool.reuse_hits;
+  Repro_core.Exec.free_runtime rt
+
 let prop_pool_serves_cycles =
   QCheck.Test.make
     ~name:"pooled acquire/release across cycles allocates once per slot"
@@ -162,6 +189,8 @@ let () =
           Alcotest.test_case "double release" `Quick test_mempool_double_release;
           Alcotest.test_case "foreign release" `Quick test_mempool_foreign_release;
           Alcotest.test_case "stats" `Quick test_mempool_stats_bytes;
-          Alcotest.test_case "clear" `Quick test_mempool_clear ] );
+          Alcotest.test_case "clear" `Quick test_mempool_clear;
+          Alcotest.test_case "solver two cycles" `Quick
+            test_mempool_solver_two_cycles ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_pool_serves_cycles ] ) ]
