@@ -65,8 +65,8 @@ let run dims cycle smoothing n variant limits_arg =
                else Options.with_tiles base ~t2:base.Options.tile_2d ~t3:tile)
               with Options.group_size_limit = limit }
           in
-          let rt = Exec.runtime () in
           let t =
+            Exec.with_runtime @@ fun rt ->
             try
               let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
               ignore
@@ -75,7 +75,6 @@ let run dims cycle smoothing n variant limits_arg =
                 .Solver.total_seconds
             with Invalid_argument _ -> Float.nan
           in
-          Exec.free_runtime rt;
           let tag =
             Printf.sprintf "limit=%d tile=%s" limit
               (String.concat "x" (Array.to_list (Array.map string_of_int tile)))

@@ -3,15 +3,33 @@
    Examples:
      mg_solve --dims 2 --cycle V --n 256 --cycles 10
      mg_solve --dims 3 --cycle W --smoothing 10,0,0 --variant dtile-opt+
-     mg_solve --dims 2 --cycle F --levels 6 --variant handopt --verbose *)
+     mg_solve --dims 2 --cycle F --levels 6 --variant handopt --verbose
+     mg_solve --guard --tol 1e-9 --max-cycles 40 --variant opt+ *)
 
 open Cmdliner
 open Repro_mg
 open Repro_core
 module Telemetry = Repro_runtime.Telemetry
 
+let print_stats stats =
+  List.iter
+    (fun (s : Solver.cycle_stats) ->
+      Printf.printf "  cycle %2d: residual %.6e  (%.4fs)%s\n" s.Solver.cycle
+        s.Solver.residual s.Solver.seconds
+        (if s.Solver.status = Solver.Ok then ""
+         else "  [" ^ Solver.status_name s.Solver.status ^ "]"))
+    stats
+
+let print_status_summary stats =
+  let count st =
+    List.length (List.filter (fun s -> s.Solver.status = st) stats)
+  in
+  Printf.printf "status: ok=%d nan=%d diverged=%d stagnated=%d\n"
+    (count Solver.Ok) (count Solver.Nan) (count Solver.Diverged)
+    (count Solver.Stagnated)
+
 let run dims cycle smoothing levels n variant cycles domains verbose profile
-    trace =
+    trace tol max_cycles guard no_fallback poison =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -47,7 +65,8 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
     exit 2
   end;
   let problem = Problem.poisson ~dims ~n in
-  let rt = Exec.runtime ~domains () in
+  let guard_mode = guard || tol <> None in
+  Exec.with_runtime ~domains ~poison @@ fun rt ->
   let stepper =
     match variant with
     | "handopt" -> Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())
@@ -71,45 +90,75 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
           v;
         exit 2)
   in
-  Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d\n"
-    (Cycle.bench_name cfg) n levels variant domains;
+  let fallback_opts =
+    match Options.variant_of_string variant with
+    | Some opts -> Guard.fallback_opts opts
+    | None -> Options.naive (* handopt variants fall back to the naive plan *)
+  in
+  Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d%s\n"
+    (Cycle.bench_name cfg) n levels variant domains
+    (if poison then "  poison=on" else "");
   if profile || trace <> None then begin
     Telemetry.reset ();
     Telemetry.set_enabled true
   end;
-  let r = Solver.iterate stepper ~problem ~cycles () in
-  Telemetry.set_enabled false;
-  List.iter
-    (fun (s : Solver.cycle_stats) ->
-      Printf.printf "  cycle %2d: residual %.6e  (%.4fs)\n" s.Solver.cycle
-        s.Solver.residual s.Solver.seconds)
-    r.Solver.stats;
-  let err = Verify.error_l2 ~v:r.Solver.v ~exact:problem.Problem.exact in
+  let stats, v, total_seconds =
+    if guard_mode then begin
+      let policy =
+        { Guard.default_policy with
+          Guard.tol;
+          Guard.max_cycles = Option.value max_cycles ~default:cycles }
+      in
+      let fallback =
+        if no_fallback then None
+        else
+          Some (fun () -> Solver.polymg_stepper cfg ~n ~opts:fallback_opts ~rt)
+      in
+      let r = Guard.run ~policy ~primary:stepper ?fallback ~problem () in
+      Telemetry.set_enabled false;
+      print_stats r.Guard.stats;
+      List.iter
+        (fun (e : Guard.event) ->
+          Printf.printf "  guard: cycle %d: %s fault — %s\n" e.Guard.cycle
+            (Guard.fault_name e.Guard.fault)
+            (Guard.action_name e.Guard.action))
+        r.Guard.events;
+      Printf.printf "guard: %s  residual %.6e  (%d fallback cycle%s)\n"
+        (Guard.outcome_name r.Guard.outcome)
+        r.Guard.residual r.Guard.fallback_cycles
+        (if r.Guard.fallback_cycles = 1 then "" else "s");
+      (r.Guard.stats, r.Guard.v, r.Guard.total_seconds)
+    end
+    else begin
+      let r = Solver.iterate stepper ~problem ~cycles () in
+      Telemetry.set_enabled false;
+      print_stats r.Solver.stats;
+      (r.Solver.stats, r.Solver.v, r.Solver.total_seconds)
+    end
+  in
+  let err = Verify.error_l2 ~v ~exact:problem.Problem.exact in
   Printf.printf "total %.4fs; error vs continuous solution: %.6e\n"
-    r.Solver.total_seconds err;
+    total_seconds err;
   if profile then begin
+    print_status_summary stats;
     Format.printf "%t@." (fun fmt -> Telemetry.report fmt);
-    let span_total =
-      float_of_int (Telemetry.span_total_ns "solver.cycle") /. 1e9
-    in
+    let span_name = if guard_mode then "guard.cycle" else "solver.cycle" in
+    let span_total = float_of_int (Telemetry.span_total_ns span_name) /. 1e9 in
     Printf.printf "profile: cycle-span total %.4fs vs wall-clock %.4fs (%+.2f%%)\n"
-      span_total r.Solver.total_seconds
-      (if r.Solver.total_seconds = 0.0 then 0.0
-       else
-         100.0 *. (span_total -. r.Solver.total_seconds)
-         /. r.Solver.total_seconds)
+      span_total total_seconds
+      (if total_seconds = 0.0 then 0.0
+       else 100.0 *. (span_total -. total_seconds) /. total_seconds)
   end;
-  (match trace with
-   | Some path -> (
-     try
-       Telemetry.write_chrome_trace path;
-       Printf.printf "trace: wrote %s (load in chrome://tracing or Perfetto)\n"
-         path
-     with Sys_error msg ->
-       Printf.eprintf "trace: cannot write %s\n" msg;
-       exit 1)
-   | None -> ());
-  Exec.free_runtime rt
+  match trace with
+  | Some path -> (
+    try
+      Telemetry.write_chrome_trace path;
+      Printf.printf "trace: wrote %s (load in chrome://tracing or Perfetto)\n"
+        path
+    with Sys_error msg ->
+      Printf.eprintf "trace: cannot write %s\n" msg;
+      exit 1)
+  | None -> ()
 
 let dims_t =
   Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank (2 or 3).")
@@ -158,12 +207,53 @@ let trace_t =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a Chrome trace-event JSON file of the run.")
 
+let tol_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tol" ]
+        ~doc:
+          "Stop when the L2 residual reaches this tolerance (implies \
+           guarded execution).")
+
+let max_cycles_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ]
+        ~doc:
+          "Cycle budget under guarded execution (defaults to --cycles).")
+
+let guard_t =
+  Arg.(
+    value & flag
+    & info [ "guard" ]
+        ~doc:
+          "Guarded execution: detect NaN/divergence per cycle, roll back \
+           to the last good iterate and retry on a naive-plan fallback.")
+
+let no_fallback_t =
+  Arg.(
+    value & flag
+    & info [ "no-fallback" ]
+        ~doc:"Under --guard, stop on the first fault instead of falling \
+              back to the naive plan.")
+
+let poison_t =
+  Arg.(
+    value & flag
+    & info [ "poison" ]
+        ~doc:
+          "Poison pooled buffers with signaling NaNs and canary guard \
+           words (debug aid for storage bugs).")
+
 let cmd =
   let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
   Cmd.v
     (Cmd.info "mg_solve" ~doc)
     Term.(
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
-      $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t)
+      $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ tol_t
+      $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,8 @@
      polymg_dump --what dag
      polymg_dump --what groups --variant opt+ --smoothing 4,4,4
      polymg_dump --what c --dims 2 --cycle V > vcycle.c
-     polymg_dump --what explain --variant opt+ -n 64 *)
+     polymg_dump --what explain --variant opt+ -n 64
+     polymg_dump --what check --variant dtile-opt+ -n 64 *)
 
 open Cmdliner
 open Repro_mg
@@ -76,7 +77,7 @@ let explain_predicted pipeline cfg ~(opts : Options.t) ~n plan =
 (* Measured side: one instrumented trial cycle of the same variant. *)
 let explain_measured cfg ~opts ~n =
   let problem = Problem.poisson ~dims:cfg.Cycle.dims ~n in
-  let rt = Exec.runtime () in
+  Exec.with_runtime @@ fun rt ->
   let stepper = Solver.polymg_stepper cfg ~n ~opts ~rt in
   Telemetry.reset ();
   Telemetry.set_enabled true;
@@ -96,8 +97,7 @@ let explain_measured cfg ~opts ~n =
     (let acq = v "mempool.acquire" in
      if acq = 0 then "n/a (pooling off)"
      else Printf.sprintf "%.0f%%" (100.0 *. float_of_int (v "mempool.hit") /. float_of_int acq));
-  Telemetry.reset ();
-  Exec.free_runtime rt
+  Telemetry.reset ()
 
 let run dims cycle smoothing levels n variant what =
   let shape =
@@ -136,7 +136,20 @@ let run dims cycle smoothing levels n variant what =
       (Cycle.bench_name cfg) n (Options.name opts);
     explain_predicted pipeline cfg ~opts ~n plan;
     explain_measured cfg ~opts ~n
-  | _ -> prerr_endline "what must be dag, groups, c or explain"; exit 2
+  | "check" -> (
+    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+    match Plan_check.check plan with
+    | Ok () ->
+      Printf.printf
+        "plan check: OK — %d groups, %d members, %d arrays storage-safe\n"
+        (Plan.group_count plan) (Plan.member_count plan)
+        (Plan.array_count plan)
+    | Error issues ->
+      List.iter (fun s -> Printf.printf "plan check: %s\n" s) issues;
+      Printf.printf "plan check: FAILED — %d issue%s\n" (List.length issues)
+        (if List.length issues = 1 then "" else "s");
+      exit 1)
+  | _ -> prerr_endline "what must be dag, groups, c, explain or check"; exit 2
 
 let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
 let cycle_t = Arg.(value & opt string "V" & info [ "cycle" ] ~doc:"V, W or F.")
@@ -153,7 +166,9 @@ let variant_t =
 let what_t =
   Arg.(
     value & opt string "groups"
-    & info [ "what" ] ~doc:"What to print: dag, groups, c, or explain.")
+    & info [ "what" ]
+        ~doc:"What to print: dag, groups, c, explain, or check (run the \
+              Plan_check storage-safety pass and report violations).")
 
 let cmd =
   let doc = "inspect PolyMG pipelines, groupings and generated code" in

@@ -15,12 +15,34 @@ type runtime = {
   pool : Mempool.t;
 }
 
-let runtime ?(domains = 1) () =
-  { par = Parallel.create domains; pool = Mempool.create () }
+let runtime ?(domains = 1) ?(poison = false) () =
+  { par = Parallel.create domains; pool = Mempool.create ~poison () }
 
 let free_runtime rt =
   Parallel.teardown rt.par;
   Mempool.clear rt.pool
+
+let with_runtime ?domains ?poison f =
+  let rt = runtime ?domains ?poison () in
+  Fun.protect ~finally:(fun () -> free_runtime rt) (fun () -> f rt)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (test/bench harness hook).
+
+   When set, the injector is called right after each stage writes its
+   destination, with the stage name and the destination binding, so a
+   harness can corrupt intermediate buffers *between* stages — the
+   guarded solver must then detect the fault at the cycle boundary.
+   Called from worker domains when [domains > 1]; injectors must be
+   thread-safe.  Never enabled in production paths. *)
+
+type fault_injector = gid:int -> stage:string -> Compile.source -> unit
+
+let injector : fault_injector option ref = ref None
+let set_fault_injector f = injector := f
+
+let inject ~gid ~stage dst =
+  match !injector with Some h -> h ~gid ~stage dst | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain scratchpad buffers, cached across tiles and cycles.       *)
@@ -152,6 +174,7 @@ let run_tile ctx (tg : Plan.tiled_group) scratch tile =
       | Some slot, arr ->
         let dst = region_source scratch.(slot) region in
         m.Plan.compiled.Compile.run ~srcs ~dst ~interior ~region;
+        inject ~gid:tg.Plan.gid ~stage:m.Plan.func.Func.name dst;
         tile_srcs.(p) <- Some dst;
         (match arr with
          | Some a ->
@@ -164,7 +187,8 @@ let run_tile ctx (tg : Plan.tiled_group) scratch tile =
         let own = Regions.own_slice tg.Plan.geom id ~tile in
         let dst = full_source (array_buf ctx a) m.Plan.sizes in
         m.Plan.compiled.Compile.run ~srcs ~dst ~interior
-          ~region:(Box.inter own region)
+          ~region:(Box.inter own region);
+        inject ~gid:tg.Plan.gid ~stage:m.Plan.func.Func.name dst
       | None, None ->
         invalid_arg
           (m.Plan.func.Func.name ^ ": member with neither scratch nor array"));
@@ -284,6 +308,7 @@ let run_diamond ctx (dg : Plan.diamond_group) =
           ~args:[ ("tiles", Telemetry.Int (Array.length front)) ]
           "diamond.front")
     fronts;
+  inject ~gid:dg.Plan.gid ~stage:last.Plan.func.Func.name out_src;
   if ctx.plan.Plan.opts.Options.pool then Mempool.release ctx.rt.pool tmp
 
 (* ------------------------------------------------------------------ *)

@@ -10,10 +10,26 @@ type runtime = {
   pool : Repro_runtime.Mempool.t;
 }
 
-val runtime : ?domains:int -> unit -> runtime
-(** Fresh runtime; [domains] defaults to 1. *)
+val runtime : ?domains:int -> ?poison:bool -> unit -> runtime
+(** Fresh runtime; [domains] defaults to 1.  [poison] (default false)
+    creates the memory pool in poison/canary mode (see {!Repro_runtime.Mempool}). *)
 
 val free_runtime : runtime -> unit
+
+val with_runtime : ?domains:int -> ?poison:bool -> (runtime -> 'a) -> 'a
+(** Scoped runtime: torn down when [f] returns {e or raises}, so domain
+    pools are never leaked past a failing stepper or residual check. *)
+
+(** {2 Fault injection (test/bench harness hook)} *)
+
+type fault_injector = gid:int -> stage:string -> Compile.source -> unit
+(** Called right after a stage writes its destination binding, allowing a
+    harness to corrupt intermediate buffers between stages.  Runs on
+    worker domains when [domains > 1]. *)
+
+val set_fault_injector : fault_injector option -> unit
+(** Installs (or with [None] removes) the global injector.  Testing only;
+    when unset the per-stage overhead is one ref read. *)
 
 val run :
   Plan.t -> runtime -> inputs:(int * Repro_grid.Grid.t) list ->

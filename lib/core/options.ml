@@ -16,6 +16,7 @@ type t = {
   pool : bool;
   smoother : smoother_path;
   walk_kernels : bool;
+  check_plan : bool;
 }
 
 let naive =
@@ -30,7 +31,8 @@ let naive =
     array_reuse = false;
     pool = false;
     smoother = Overlapped_smoother;
-    walk_kernels = true }
+    walk_kernels = true;
+    check_plan = false }
 
 let opt =
   { naive with fuse = true; group_size_limit = 6 }

@@ -35,6 +35,10 @@ type t = {
       (** dispatch linear stages to the specialized walk-form inner loops
           (the register shape of generated C); off = generic per-term
           cursor loops.  An ablation knob for the codegen-quality axis. *)
+  check_plan : bool;
+      (** run the {!Plan_check} storage-safety/halo validation pass over
+          every plan built through {!Plan_check.build} (the solver path).
+          Off in the presets; tests and guarded runs turn it on. *)
 }
 
 val naive : t

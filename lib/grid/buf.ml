@@ -37,6 +37,25 @@ let copy t =
   Bigarray.Array1.blit t.data c.data;
   c
 
+let sub_view t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Buf.sub_view: range out of bounds";
+  { data = Bigarray.Array1.sub t.data pos len; len }
+
+let fill_range t ~pos ~len v =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Buf.fill_range: range out of bounds";
+  Bigarray.Array1.fill (Bigarray.Array1.sub t.data pos len) v
+
+let find_nonfinite t =
+  let rec go i =
+    if i >= t.len then None
+    else if Float.is_finite (Bigarray.Array1.unsafe_get t.data i) then
+      go (i + 1)
+    else Some i
+  in
+  go 0
+
 let sub_blit ~src ~src_pos ~dst ~dst_pos ~len =
   if len < 0 || src_pos < 0 || dst_pos < 0
      || src_pos + len > src.len || dst_pos + len > dst.len

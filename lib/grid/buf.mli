@@ -37,6 +37,17 @@ val blit : src:t -> dst:t -> unit
 
 val copy : t -> t
 
+val sub_view : t -> pos:int -> len:int -> t
+(** [sub_view t ~pos ~len] is a buffer sharing [t]'s storage over the
+    given element range: writes through the view are visible in [t].
+    Used by the pooled allocator to hand out exact-length windows over
+    guarded allocations. *)
+
+val fill_range : t -> pos:int -> len:int -> float -> unit
+
+val find_nonfinite : t -> int option
+(** Index of the first NaN or infinity, scanning the whole buffer. *)
+
 val sub_blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
 
 val of_array : float array -> t

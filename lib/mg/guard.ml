@@ -1,0 +1,252 @@
+module Grid = Repro_grid.Grid
+module Buf = Repro_grid.Buf
+module Telemetry = Repro_runtime.Telemetry
+open Repro_core
+
+type policy = {
+  tol : float option;
+  max_cycles : int;
+  divergence_factor : float;
+  stagnation_eps : float;
+  stagnation_window : int;
+  max_primary_faults : int;
+}
+
+let default_policy =
+  { tol = None;
+    max_cycles = 50;
+    divergence_factor = 1e3;
+    stagnation_eps = 1e-3;
+    stagnation_window = 3;
+    max_primary_faults = 2 }
+
+type fault = Fault_nan | Fault_diverged | Fault_crash of string
+
+let fault_name = function
+  | Fault_nan -> "nan"
+  | Fault_diverged -> "divergence"
+  | Fault_crash _ -> "crash"
+
+type action =
+  | Fallback_retry
+  | Quarantined_primary
+  | Gave_up
+
+let action_name = function
+  | Fallback_retry -> "retried on fallback plan"
+  | Quarantined_primary -> "primary plan quarantined, staying on fallback"
+  | Gave_up -> "gave up"
+
+type event = { cycle : int; fault : fault; action : action }
+
+type outcome =
+  | Converged
+  | Exhausted
+  | Stagnated
+  | Faulted of fault
+
+let outcome_name = function
+  | Converged -> "converged"
+  | Exhausted -> "max-cycles"
+  | Stagnated -> "stagnated"
+  | Faulted f -> "faulted:" ^ fault_name f
+
+type result = {
+  stats : Solver.cycle_stats list;
+  v : Grid.t;
+  residual : float;
+  outcome : outcome;
+  events : event list;
+  fallback_cycles : int;
+  total_seconds : float;
+}
+
+let c_cycles = Telemetry.counter "guard.cycles"
+let c_nan = Telemetry.counter "guard.nan_detected"
+let c_div = Telemetry.counter "guard.divergence_detected"
+let c_crash = Telemetry.counter "guard.crash_detected"
+let c_rollbacks = Telemetry.counter "guard.rollbacks"
+let c_switch = Telemetry.counter "guard.fallback_switches"
+let c_fb_cycles = Telemetry.counter "guard.fallback_cycles"
+let c_early = Telemetry.counter "guard.early_stops"
+let c_stag_stop = Telemetry.counter "guard.stagnation_stops"
+
+let count_fault = function
+  | Fault_nan -> Telemetry.add c_nan 1
+  | Fault_diverged -> Telemetry.add c_div 1
+  | Fault_crash _ -> Telemetry.add c_crash 1
+
+let run ?(policy = default_policy) ~primary ?fallback
+    ~(problem : Problem.t) () =
+  if policy.max_cycles < 1 then
+    invalid_arg "Guard.run: max_cycles must be >= 1";
+  let cur = ref (Grid.copy problem.Problem.v) in
+  let next = ref (Grid.create (Grid.extents problem.Problem.v)) in
+  (* Checkpoint of the last-good iterate.  [cur] is only advanced on an
+     accepted cycle, but the explicit copy also survives steppers that
+     scribble on their [v] argument. *)
+  let good = Grid.copy !cur in
+  let r0 =
+    Verify.residual_l2 ~n:problem.Problem.n ~v:!cur ~f:problem.Problem.f
+  in
+  let best = ref r0 and prev = ref r0 and good_res = ref r0 in
+  let stats = ref [] and events = ref [] in
+  let total = ref 0.0 in
+  let fb_stepper = ref None in
+  let get_fallback () =
+    match !fb_stepper with
+    | Some s -> Some s
+    | None -> (
+      match fallback with
+      | None -> None
+      | Some mk ->
+        let s = mk () in
+        fb_stepper := Some s;
+        Some s)
+  in
+  let quarantined = ref false in
+  let retry_on_fallback = ref false in
+  let primary_faults = ref 0 in
+  let fallback_cycles = ref 0 in
+  let stagnant = ref 0 in
+  let cycle = ref 1 in
+  let outcome = ref None in
+  let converged r = match policy.tol with Some t -> r <= t | None -> false in
+  if converged r0 then begin
+    Telemetry.add c_early 1;
+    outcome := Some Converged
+  end;
+  while !outcome = None do
+    let on_fallback = !quarantined || !retry_on_fallback in
+    let stepper =
+      if on_fallback then Option.get (get_fallback ()) else primary
+    in
+    let t0 = Unix.gettimeofday () in
+    let t_span = Telemetry.begin_span () in
+    let crash =
+      match stepper ~v:!cur ~f:problem.Problem.f ~out:!next with
+      | () -> None
+      | exception e -> Some (Printexc.to_string e)
+    in
+    if t_span <> 0 then
+      Telemetry.end_span t_span ~cat:"solver"
+        ~args:
+          [ ("cycle", Telemetry.Int !cycle);
+            ("fallback", Telemetry.Int (Bool.to_int on_fallback)) ]
+        "guard.cycle";
+    let dt = Unix.gettimeofday () -. t0 in
+    total := !total +. dt;
+    Telemetry.add c_cycles 1;
+    let record residual status =
+      stats :=
+        { Solver.cycle = !cycle; residual; seconds = dt; status } :: !stats
+    in
+    let fault =
+      match crash with
+      | Some msg -> Some (Fault_crash msg)
+      | None ->
+        if Buf.find_nonfinite !next.Grid.buf <> None then begin
+          record Float.nan Solver.Nan;
+          Some Fault_nan
+        end
+        else begin
+          let r =
+            Verify.residual_l2 ~n:problem.Problem.n ~v:!next
+              ~f:problem.Problem.f
+          in
+          match
+            Solver.classify ~divergence_factor:policy.divergence_factor
+              ~stagnation_eps:policy.stagnation_eps ~best:!best ~prev:!prev r
+          with
+          | Solver.Nan ->
+            record r Solver.Nan;
+            Some Fault_nan
+          | Solver.Diverged ->
+            record r Solver.Diverged;
+            Some Fault_diverged
+          | (Solver.Ok | Solver.Stagnated) as status ->
+            (* accept the cycle: swap iterates and move the checkpoint *)
+            record r status;
+            let tmp = !cur in
+            cur := !next;
+            next := tmp;
+            Grid.blit ~src:!cur ~dst:good;
+            good_res := r;
+            if r < !best then best := r;
+            prev := r;
+            if status = Solver.Stagnated then incr stagnant
+            else stagnant := 0;
+            if on_fallback then begin
+              incr fallback_cycles;
+              Telemetry.add c_fb_cycles 1
+            end;
+            retry_on_fallback := false;
+            if converged r then begin
+              Telemetry.add c_early 1;
+              outcome := Some Converged
+            end
+            else if !stagnant >= policy.stagnation_window then begin
+              Telemetry.add c_stag_stop 1;
+              outcome := Some Stagnated
+            end
+            else if !cycle >= policy.max_cycles then
+              outcome := Some Exhausted
+            else incr cycle;
+            None
+        end
+    in
+    match fault with
+    | None -> ()
+    | Some f ->
+      count_fault f;
+      (* rollback to the checkpoint *)
+      Grid.blit ~src:good ~dst:!cur;
+      Telemetry.add c_rollbacks 1;
+      let action =
+        if on_fallback || get_fallback () = None then begin
+          (* fault on the fallback plan (or nothing to fall back to):
+             the fault is inherent to the problem, not the optimizer *)
+          outcome := Some (Faulted f);
+          Gave_up
+        end
+        else begin
+          incr primary_faults;
+          retry_on_fallback := true;
+          Telemetry.add c_switch 1;
+          if !primary_faults >= policy.max_primary_faults then begin
+            quarantined := true;
+            Quarantined_primary
+          end
+          else Fallback_retry
+        end
+      in
+      events := { cycle = !cycle; fault = f; action } :: !events
+  done;
+  { stats = List.rev !stats;
+    v = !cur;
+    residual = !good_res;
+    outcome = Option.get !outcome;
+    events = List.rev !events;
+    fallback_cycles = !fallback_cycles;
+    total_seconds = !total }
+
+let fallback_opts (opts : Options.t) =
+  { Options.naive with Options.check_plan = opts.Options.check_plan }
+
+let solve cfg ~n ~opts ?(domains = 1) ?(poison = false) ?policy
+    ?(fallback = true) ?problem () =
+  Exec.with_runtime ~domains ~poison (fun rt ->
+      let problem =
+        match problem with
+        | Some p -> p
+        | None -> Problem.poisson ~dims:cfg.Cycle.dims ~n
+      in
+      let primary = Solver.polymg_stepper cfg ~n ~opts ~rt in
+      let fb =
+        if fallback then
+          Some
+            (fun () ->
+              Solver.polymg_stepper cfg ~n ~opts:(fallback_opts opts) ~rt)
+        else None
+      in
+      run ?policy ~primary ?fallback:fb ~problem ())

@@ -1,0 +1,96 @@
+(** Guarded execution: per-cycle fault detection with checkpoint,
+    rollback, and graceful fallback to an unoptimized plan.
+
+    The optimizing plan pipeline (overlapped tiling, scratchpads, storage
+    remapping) is exactly the kind of code whose bugs corrupt answers
+    silently.  {!run} wraps any {!Solver.stepper} in a monitor that after
+    every cycle scans the fresh iterate for non-finite values and
+    classifies its residual ({!Solver.classify}); on a NaN, divergence,
+    or crash it rolls the iterate back to a checkpoint of the last good
+    cycle and re-runs the failed cycle on a {e fallback} stepper —
+    typically the same cycle compiled with {!Repro_core.Options.naive},
+    no optimizations — which isolates whether the optimizer caused the
+    fault.  If the primary plan keeps faulting it is quarantined for the
+    rest of the solve; if the {e fallback} faults, the fault is inherent
+    to the problem and the solve stops with the last good iterate.
+
+    Every detection, rollback, and switch is recorded in telemetry
+    counters ([guard.*]) and returned as {!event}s. *)
+
+type policy = {
+  tol : float option;
+      (** stop as soon as the L2 residual is [<= tol] (early stop) *)
+  max_cycles : int;  (** accepted-cycle budget (faulted retries excluded) *)
+  divergence_factor : float;
+      (** fault when residual > factor × best-so-far (default 1e3) *)
+  stagnation_eps : float;
+      (** minimum relative improvement per cycle (default 1e-3) *)
+  stagnation_window : int;
+      (** stop after this many consecutive stagnant cycles (default 3) *)
+  max_primary_faults : int;
+      (** quarantine the primary stepper after this many faults
+          (default 2); until then each fault costs one fallback retry *)
+}
+
+val default_policy : policy
+(** [tol = None], [max_cycles = 50], and the defaults noted above. *)
+
+type fault =
+  | Fault_nan  (** non-finite values in the iterate or its residual *)
+  | Fault_diverged  (** residual blew past [divergence_factor × best] *)
+  | Fault_crash of string  (** the stepper raised; payload is the message *)
+
+val fault_name : fault -> string
+
+type action =
+  | Fallback_retry  (** rolled back; cycle re-run on the fallback plan *)
+  | Quarantined_primary
+      (** rolled back; primary disabled for the rest of the solve *)
+  | Gave_up  (** fault on the fallback plan (or no fallback): stop *)
+
+val action_name : action -> string
+
+type event = { cycle : int; fault : fault; action : action }
+
+type outcome =
+  | Converged  (** reached [policy.tol] *)
+  | Exhausted  (** ran [max_cycles] without meeting [tol] *)
+  | Stagnated  (** residual stopped improving for [stagnation_window] *)
+  | Faulted of fault
+      (** unrecoverable fault; [v] holds the last good iterate *)
+
+val outcome_name : outcome -> string
+
+type result = {
+  stats : Solver.cycle_stats list;
+      (** every attempted cycle, including faulted attempts (status
+          [Nan]/[Diverged]); crashed attempts appear only in [events] *)
+  v : Repro_grid.Grid.t;  (** final (always last-good) iterate *)
+  residual : float;  (** residual of [v]; the initial residual if no
+                         cycle was accepted *)
+  outcome : outcome;
+  events : event list;  (** faults in detection order *)
+  fallback_cycles : int;  (** accepted cycles run on the fallback plan *)
+  total_seconds : float;  (** stepper time, all attempts, checks excluded *)
+}
+
+val run :
+  ?policy:policy -> primary:Solver.stepper ->
+  ?fallback:(unit -> Solver.stepper) -> problem:Problem.t -> unit -> result
+(** Runs guarded cycles of [primary] on [problem].  [fallback] is built
+    lazily, on the first fault.  Cycle numbers in [stats]/[events] only
+    advance on accepted cycles, so a retried cycle keeps its number. *)
+
+val fallback_opts : Repro_core.Options.t -> Repro_core.Options.t
+(** {!Repro_core.Options.naive} with [check_plan] inherited — the option
+    set the guard falls back to. *)
+
+val solve :
+  Cycle.config -> n:int -> opts:Repro_core.Options.t -> ?domains:int ->
+  ?poison:bool -> ?policy:policy -> ?fallback:bool -> ?problem:Problem.t ->
+  unit -> result
+(** Convenience: one runtime ({!Repro_core.Exec.with_runtime}, with
+    [poison] enabling {!Repro_runtime.Mempool} buffer poisoning) shared
+    by a {!Solver.polymg_stepper} primary and, unless [fallback:false],
+    a lazily built naive-plan fallback; then {!run} on [problem]
+    (default: the standard Poisson problem for [cfg.dims]). *)

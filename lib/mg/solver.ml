@@ -2,10 +2,19 @@ module Grid = Repro_grid.Grid
 module Telemetry = Repro_runtime.Telemetry
 open Repro_core
 
+type status = Ok | Nan | Diverged | Stagnated
+
+let status_name = function
+  | Ok -> "ok"
+  | Nan -> "nan"
+  | Diverged -> "diverged"
+  | Stagnated -> "stagnated"
+
 type cycle_stats = {
   cycle : int;
   residual : float;
   seconds : float;
+  status : status;
 }
 
 type result = {
@@ -16,12 +25,23 @@ type result = {
 
 type stepper = v:Grid.t -> f:Grid.t -> out:Grid.t -> unit
 
+let classify ?(divergence_factor = 1e4) ?(stagnation_eps = 1e-2) ~best ~prev
+    residual =
+  if not (Float.is_finite residual) then Nan
+  else if Float.is_finite best && residual > divergence_factor *. best then
+    Diverged
+  else if Float.is_finite prev && residual >= (1.0 -. stagnation_eps) *. prev
+  then Stagnated
+  else Ok
+
 let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
   if cycles < 1 then invalid_arg "Solver.iterate: cycles must be >= 1";
   let cur = ref (Grid.copy problem.Problem.v) in
   let next = ref (Grid.create (Grid.extents problem.Problem.v)) in
   let stats = ref [] in
   let total = ref 0.0 in
+  let best = ref Float.infinity in
+  let prev = ref Float.infinity in
   for c = 1 to cycles do
     let t0 = Unix.gettimeofday () in
     let t_cycle = Telemetry.begin_span () in
@@ -40,13 +60,22 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
         Verify.residual_l2 ~n:problem.Problem.n ~v:!cur ~f:problem.Problem.f
       else Float.nan
     in
-    stats := { cycle = c; residual; seconds = dt } :: !stats
+    let status =
+      if not residuals then Ok
+      else if not (Float.is_finite residual) then Nan
+      else classify ~best:!best ~prev:!prev residual
+    in
+    if Float.is_finite residual then begin
+      if residual < !best then best := residual;
+      prev := residual
+    end;
+    stats := { cycle = c; residual; seconds = dt; status } :: !stats
   done;
   { stats = List.rev !stats; v = !cur; total_seconds = !total }
 
 let polymg_stepper cfg ~n ~opts ~rt =
   let pipeline = Cycle.build cfg in
-  let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+  let plan = Plan_check.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
   let vin = Cycle.input_v pipeline in
   let fin = Cycle.input_f pipeline in
   let out = Cycle.output pipeline in
@@ -55,9 +84,7 @@ let polymg_stepper cfg ~n ~opts ~rt =
       ~outputs:[ (out, out_grid) ]
 
 let solve cfg ~n ~opts ?(domains = 1) ~cycles ?(residuals = true) () =
-  let rt = Exec.runtime ~domains () in
-  let problem = Problem.poisson ~dims:cfg.Cycle.dims ~n in
-  let stepper = polymg_stepper cfg ~n ~opts ~rt in
-  let result = iterate stepper ~problem ~cycles ~residuals () in
-  Exec.free_runtime rt;
-  result
+  Exec.with_runtime ~domains (fun rt ->
+      let problem = Problem.poisson ~dims:cfg.Cycle.dims ~n in
+      let stepper = polymg_stepper cfg ~n ~opts ~rt in
+      iterate stepper ~problem ~cycles ~residuals ())

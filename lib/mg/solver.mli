@@ -2,10 +2,19 @@
     to the DSL, §2) over any cycle implementation — PolyMG plans or the
     hand-optimized baselines — and records convergence and timing. *)
 
+type status =
+  | Ok  (** residual finite and improving (or not computed) *)
+  | Nan  (** residual NaN/Inf: non-finite values in the iterate *)
+  | Diverged  (** residual grew past the divergence factor × best-so-far *)
+  | Stagnated  (** residual no longer improving meaningfully *)
+
+val status_name : status -> string
+
 type cycle_stats = {
   cycle : int;  (** 1-based *)
   residual : float;  (** L2 residual after the cycle; NaN if not computed *)
   seconds : float;  (** wall time of the cycle execution alone *)
+  status : status;
 }
 
 type result = {
@@ -18,21 +27,37 @@ type stepper = v:Repro_grid.Grid.t -> f:Repro_grid.Grid.t ->
   out:Repro_grid.Grid.t -> unit
 (** One cycle: reads the iterate [v] and rhs [f], writes the new iterate. *)
 
+val classify :
+  ?divergence_factor:float -> ?stagnation_eps:float -> best:float ->
+  prev:float -> float -> status
+(** [classify ~best ~prev residual] assigns a status to a fresh residual
+    given the best and previous residuals (pass [infinity] when unknown —
+    infinite bounds disable the corresponding test).  NaN/Inf residuals
+    are {!Nan}; residuals above [divergence_factor] (default 1e4) times
+    [best] are {!Diverged}; improvements below [stagnation_eps] (default
+    1e-2, i.e. less than 1% per cycle) are {!Stagnated}. *)
+
 val iterate :
   stepper -> problem:Problem.t -> cycles:int -> ?residuals:bool -> unit ->
   result
 (** Runs [cycles] iterations, ping-ponging two iterate grids.
     [residuals] (default true) computes the residual after each cycle with
-    {!Verify.residual_l2} (excluded from timings). *)
+    {!Verify.residual_l2} (excluded from timings) and classifies it with
+    {!classify} at default thresholds; with [residuals:false] every status
+    is {!Ok}.  For fault detection with rollback and fallback, use
+    {!Guard.run} instead. *)
 
 val polymg_stepper :
   Cycle.config -> n:int -> opts:Repro_core.Options.t -> rt:Repro_core.Exec.runtime ->
   stepper
-(** Builds the pipeline, optimizes it into a plan once, and returns the
-    stepper that executes it. *)
+(** Builds the pipeline, optimizes it into a plan once (through
+    {!Repro_core.Plan_check.build}, so [opts.check_plan] validates the
+    storage mapping before first use), and returns the stepper that
+    executes it. *)
 
 val solve :
   Cycle.config -> n:int -> opts:Repro_core.Options.t ->
   ?domains:int -> cycles:int -> ?residuals:bool -> unit -> result
 (** Convenience: fresh runtime + {!polymg_stepper} + {!iterate} on the
-    standard Poisson problem; tears the runtime down afterwards. *)
+    standard Poisson problem.  The runtime is torn down when the solve
+    returns {e or raises} (no domain-pool leak on stepper failure). *)

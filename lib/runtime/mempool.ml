@@ -15,10 +15,26 @@ let c_release = Telemetry.counter "mempool.release"
 let c_hit = Telemetry.counter "mempool.hit"
 let c_miss = Telemetry.counter "mempool.miss"
 let c_peak = Telemetry.counter "mempool.peak_live_bytes"
+let c_guard_trips = Telemetry.counter "mempool.guard_trips"
 
-type entry = { buf : Buf.t; mutable free : bool }
+(* Poison mode constants: a signaling-NaN payload so any arithmetic on a
+   stale or uninitialized read yields a NaN the solver-level guard can
+   catch, and a recognizable canary bit pattern for the guard words laid
+   down past each handed-out window. *)
+let guard_elems = 4
+let snan = Int64.float_of_bits 0x7ff0_0000_dead_beefL
+let canary = Int64.float_of_bits 0x5CA1_AB1E_5CA1_AB1EL
+let is_canary v = Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float canary)
+
+type entry = {
+  raw : Buf.t;  (* full allocation, including guard words in poison mode *)
+  mutable free : bool;
+  mutable view : Buf.t;  (* the buffer handed to the caller *)
+  mutable acquires : int;  (* times this entry served an acquire *)
+}
 
 type t = {
+  poison : bool;
   mutable entries : entry list;
   mutable fresh_allocs : int;
   mutable reuse_hits : int;
@@ -27,13 +43,16 @@ type t = {
   mutable peak_live_bytes : int;
 }
 
-let create () =
-  { entries = [];
+let create ?(poison = false) () =
+  { poison;
+    entries = [];
     fresh_allocs = 0;
     reuse_hits = 0;
     live_bytes = 0;
     pool_bytes = 0;
     peak_live_bytes = 0 }
+
+let poisoned t = t.poison
 
 let note_live t delta =
   t.live_bytes <- t.live_bytes + delta;
@@ -41,45 +60,84 @@ let note_live t delta =
   Telemetry.max_to c_peak t.peak_live_bytes
 
 (* Best fit: smallest free buffer that is large enough. *)
-let find_fit t len =
+let find_fit t need =
   List.fold_left
     (fun best e ->
-      if e.free && Buf.len e.buf >= len then
+      if e.free && Buf.len e.raw >= need then
         match best with
-        | Some b when Buf.len b.buf <= Buf.len e.buf -> best
+        | Some b when Buf.len b.raw <= Buf.len e.raw -> best
         | _ -> Some e
       else best)
     None t.entries
 
+(* Arm an entry for hand-out: in poison mode the caller gets an exact
+   [len]-element window filled with signaling NaNs, with canary guard
+   words written just past it (the raw allocation always reserves at
+   least [guard_elems] beyond the request, so guards never go missing). *)
+let arm t e len =
+  e.free <- false;
+  e.acquires <- e.acquires + 1;
+  if t.poison then begin
+    let view = Buf.sub_view e.raw ~pos:0 ~len in
+    Buf.fill view snan;
+    Buf.fill_range e.raw ~pos:len ~len:guard_elems canary;
+    e.view <- view
+  end
+  else e.view <- e.raw;
+  note_live t (Buf.bytes e.raw);
+  e.view
+
 let acquire t len =
   if len < 0 then invalid_arg "Mempool.acquire: negative length";
   Telemetry.add c_acquire 1;
-  match find_fit t len with
+  let need = if t.poison then len + guard_elems else len in
+  match find_fit t need with
   | Some e ->
-    e.free <- false;
     t.reuse_hits <- t.reuse_hits + 1;
     Telemetry.add c_hit 1;
-    note_live t (Buf.bytes e.buf);
-    e.buf
+    arm t e len
   | None ->
-    let buf = Buf.create_uninit len in
-    t.entries <- { buf; free = false } :: t.entries;
+    let raw = Buf.create_uninit need in
+    let e = { raw; free = false; view = raw; acquires = 0 } in
+    t.entries <- e :: t.entries;
     t.fresh_allocs <- t.fresh_allocs + 1;
     Telemetry.add c_miss 1;
-    t.pool_bytes <- t.pool_bytes + Buf.bytes buf;
-    note_live t (Buf.bytes buf);
-    buf
+    t.pool_bytes <- t.pool_bytes + Buf.bytes raw;
+    arm t e len
+
+let check_guard e =
+  let lo = Buf.len e.view in
+  for i = lo to lo + guard_elems - 1 do
+    if not (is_canary (Buf.get e.raw i)) then begin
+      Telemetry.add c_guard_trips 1;
+      invalid_arg
+        (Printf.sprintf
+           "Mempool.release: guard word %d past a %d-element buffer was \
+            clobbered (out-of-bounds write; buffer acquired %d times)"
+           (i - lo) lo e.acquires)
+    end
+  done
 
 let release t buf =
   let rec find = function
-    | [] -> invalid_arg "Mempool.release: buffer not from this pool"
-    | e :: rest -> if e.buf == buf then e else find rest
+    | [] ->
+      invalid_arg "Mempool.release: buffer not from this pool (or stale view)"
+    | e :: rest -> if e.view == buf then e else find rest
   in
   let e = find t.entries in
-  if e.free then invalid_arg "Mempool.release: double release";
+  if e.free then
+    invalid_arg
+      (Printf.sprintf
+         "Mempool.release: double release of a %d-element buffer (acquired \
+          %d times from this pool)"
+         (Buf.len e.view) e.acquires);
+  if t.poison then begin
+    check_guard e;
+    Buf.fill e.raw snan
+  end;
   Telemetry.add c_release 1;
   e.free <- true;
-  t.live_bytes <- t.live_bytes - Buf.bytes e.buf
+  t.live_bytes <- t.live_bytes - Buf.bytes e.raw
 
 let stats t =
   { fresh_allocs = t.fresh_allocs;
@@ -98,3 +156,11 @@ let clear t =
   t.live_bytes <- 0;
   t.pool_bytes <- 0;
   t.peak_live_bytes <- 0
+
+let with_pool ?poison f =
+  let t = create ?poison () in
+  Fun.protect ~finally:(fun () -> clear t) (fun () -> f t)
+
+let with_buf t len f =
+  let b = acquire t len in
+  Fun.protect ~finally:(fun () -> release t b) (fun () -> f b)

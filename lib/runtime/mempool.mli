@@ -7,7 +7,15 @@
     available again.  Arrays are thus physically allocated on the first
     cycle and reused by all later cycles — and releasing as soon as the
     last consumer of an array finishes lets later stages of the {e same}
-    cycle reuse it, catching inter-group reuse the static pass missed. *)
+    cycle reuse it, catching inter-group reuse the static pass missed.
+
+    {b Poison/canary mode} ([create ~poison:true]) hardens the pool for
+    fault hunting: every handed-out buffer is an exact-length view filled
+    with signaling NaNs (so reads of released or never-written memory
+    surface as NaNs the solver guard detects), and canary guard words are
+    written just past each window and re-checked on [release], turning
+    out-of-bounds tile writes into an immediate [Invalid_argument]
+    instead of silent corruption of a neighbouring array. *)
 
 type t
 
@@ -19,15 +27,34 @@ type stats = {
   peak_live_bytes : int;
 }
 
-val create : unit -> t
+val create : ?poison:bool -> unit -> t
+(** [poison] (default false) enables poison/canary mode. *)
+
+val poisoned : t -> bool
+
+val guard_elems : int
+(** Guard words reserved past every window in poison mode. *)
+
+val snan : float
+(** The signaling-NaN payload poison mode fills buffers with. *)
 
 val acquire : t -> int -> Repro_grid.Buf.t
 (** [acquire t len] returns a buffer with at least [len] elements.
-    Contents are unspecified (reused buffers are dirty). *)
+    Contents are unspecified (reused buffers are dirty); in poison mode
+    the buffer has exactly [len] elements, every one a signaling NaN. *)
 
 val release : t -> Repro_grid.Buf.t -> unit
 (** Returns a buffer to the pool.
-    @raise Invalid_argument if the buffer is not currently acquired. *)
+    @raise Invalid_argument if the buffer is not currently acquired
+    (double releases name the buffer size and its acquire count), or if
+    poison-mode guard words were clobbered by an out-of-bounds write. *)
+
+val with_pool : ?poison:bool -> (t -> 'a) -> 'a
+(** Scoped pool: created for [f] and cleared on exit, even on raise. *)
+
+val with_buf : t -> int -> (Repro_grid.Buf.t -> 'a) -> 'a
+(** Scoped acquire: the buffer is released when [f] returns or raises, so
+    callers cannot forget {!release}. *)
 
 val stats : t -> stats
 

@@ -1,131 +1,18 @@
 (* The strongest equivalence check in the suite: generate random valid
-   pipelines — random stencil stages, restrictions, interpolations and
-   pointwise combinations over a random DAG — and check that every
-   optimizer variant computes exactly what the naive plan computes. *)
+   pipelines (generators in Pipeline_gen, shared with test_plan_check)
+   and check that every optimizer variant computes exactly what the
+   naive plan computes. *)
 
-open Repro_ir
 open Repro_core
 module Grid = Repro_grid.Grid
 
-(* A generated stage description.  Producers are indices into the list of
-   previously created stages (0 = the input grid). *)
-type gen_stage =
-  | G_stencil of int * float array * float  (* producer, 3x3 weights, factor *)
-  | G_restrict of int
-  | G_interp of int
-  | G_combine of int * int * float  (* a + c*b, at equal scales *)
-  | G_chain of int * int  (* tstencil of given steps on producer *)
-
-let gen_pipeline_of (stages : gen_stage list) =
-  let n_sym = Sizeexpr.add_const Sizeexpr.n (-1) in
-  let ctx = Dsl.create "random" in
-  let input = Dsl.grid ctx "IN" ~dims:2 ~sizes:[| n_sym; n_sym |] in
-  (* track created stages with their scale level (0 = finest) *)
-  let created = ref [ (input, 0) ] in
-  let get i = List.nth (List.rev !created) (i mod List.length !created) in
-  let counter = ref 0 in
-  let name tag =
-    incr counter;
-    Printf.sprintf "%s%d" tag !counter
-  in
-  List.iter
-    (fun g ->
-      let add f lvl = created := (f, lvl) :: !created in
-      match g with
-      | G_stencil (p, w, factor) ->
-        let src, lvl = get p in
-        let weights =
-          Weights.w2
-            [| [| w.(0); w.(1); w.(2) |];
-               [| w.(3); w.(4); w.(5) |];
-               [| w.(6); w.(7); w.(8) |] |]
-        in
-        (* all-zero weight tensors are rejected by the Dsl; perturb *)
-        let weights =
-          if Array.for_all (fun x -> x = 0.0) w then
-            Weights.w2 [| [| 0.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 0. |] |]
-          else weights
-        in
-        add
-          (Dsl.func ctx ~name:(name "st") ~sizes:src.Func.sizes
-             (Dsl.stencil src weights ~factor:(Expr.const factor) ()))
-          lvl
-      | G_restrict p ->
-        let src, lvl = get p in
-        (* keep the coarsest size sane: interior >= 3 at n = 32 *)
-        if lvl < 2 then add (Dsl.restrict_fn ctx ~name:(name "rs") ~input:src ()) (lvl + 1)
-      | G_interp p ->
-        let src, lvl = get p in
-        if lvl > 0 then add (Dsl.interp_fn ctx ~name:(name "ip") ~input:src ()) (lvl - 1)
-      | G_combine (p, q, c) ->
-        let a, la = get p in
-        let b, lb = get q in
-        if la = lb then
-          add
-            (Dsl.func ctx ~name:(name "cb") ~sizes:a.Func.sizes
-               Expr.(
-                 load a.Func.id [| 0; 0 |]
-                 + (const c * load b.Func.id [| 0; 0 |])))
-            la
-      | G_chain (p, steps) ->
-        let src, lvl = get p in
-        let steps = 1 + (abs steps mod 4) in
-        add
-          (Dsl.tstencil ctx ~name:(name "ch") ~steps ~init:src (fun ~v ->
-               Expr.(
-                 (const 0.6 * load v.Func.id [| 0; 0 |])
-                 + (const 0.1
-                    * (load v.Func.id [| -1; 0 |] + load v.Func.id [| 1; 0 |]
-                       + load v.Func.id [| 0; -1 |]
-                       + load v.Func.id [| 0; 1 |])))))
-          lvl)
-    stages;
-  (* output: the last created non-input stage, or a trivial one *)
-  let out =
-    match !created with
-    | (f, _) :: _ when not (Func.is_input f) -> f
-    | _ ->
-      Dsl.func ctx ~name:"out" ~sizes:[| n_sym; n_sym |]
-        (Expr.load input.Func.id [| 0; 0 |])
-  in
-  (Dsl.finish ctx ~outputs:[ out ], input.Func.id, out.Func.id)
-
-let stage_gen =
-  QCheck.Gen.(
-    let weight = float_range (-1.0) 1.0 in
-    frequency
-      [ (4, map2 (fun p (w, f) -> G_stencil (p, w, f))
-             (int_range 0 10)
-             (pair (array_repeat 9 weight) (float_range 0.1 1.0)));
-        (2, map (fun p -> G_restrict p) (int_range 0 10));
-        (2, map (fun p -> G_interp p) (int_range 0 10));
-        (2, map2 (fun (p, q) c -> G_combine (p, q, c))
-             (pair (int_range 0 10) (int_range 0 10))
-             (float_range (-1.0) 1.0));
-        (1, map2 (fun p s -> G_chain (p, s)) (int_range 0 10) (int_range 1 4)) ])
-
-let pipelines_arb =
-  QCheck.make
-    QCheck.Gen.(list_size (int_range 1 12) stage_gen)
-
-let run_pipeline (p, in_id, out_id) ~opts ~n =
-  let plan = Plan.build p ~opts ~n ~params:(fun s -> invalid_arg s) in
-  let f = Pipeline.func p out_id in
-  let out_n = Sizeexpr.eval ~n f.Func.sizes.(0) in
-  let input = Grid.interior ~dims:2 (n - 1) in
-  Grid.fill_interior input ~f:(fun idx ->
-      sin (float_of_int ((idx.(0) * 7) + (idx.(1) * 3)) /. 5.0));
-  let out = Grid.interior ~dims:2 out_n in
-  let rt = Exec.runtime () in
-  Exec.run plan rt ~inputs:[ (in_id, input) ] ~outputs:[ (out_id, out) ];
-  Exec.free_runtime rt;
-  out
+let run_pipeline = Pipeline_gen.run_pipeline
 
 let prop_variants_agree =
   QCheck.Test.make ~name:"random pipelines: all variants match naive"
-    ~count:60 pipelines_arb
+    ~count:60 Pipeline_gen.pipelines_arb
     (fun stages ->
-      let built = gen_pipeline_of stages in
+      let built = Pipeline_gen.gen_pipeline_of stages in
       let n = 32 in
       let reference = run_pipeline built ~opts:Options.naive ~n in
       List.for_all
@@ -139,9 +26,9 @@ let prop_variants_agree =
 
 let prop_deterministic =
   QCheck.Test.make ~name:"random pipelines: opt+ is deterministic" ~count:20
-    pipelines_arb
+    Pipeline_gen.pipelines_arb
     (fun stages ->
-      let built = gen_pipeline_of stages in
+      let built = Pipeline_gen.gen_pipeline_of stages in
       let a = run_pipeline built ~opts:Options.opt_plus ~n:32 in
       let b = run_pipeline built ~opts:Options.opt_plus ~n:32 in
       Grid.max_abs_diff a b = 0.0)

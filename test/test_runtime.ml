@@ -103,15 +103,18 @@ let test_mempool_double_release () =
   let p = Mempool.create () in
   let b = Mempool.acquire p 10 in
   Mempool.release p b;
-  Alcotest.check_raises "double" (Invalid_argument "Mempool.release: double release")
-    (fun () -> Mempool.release p b)
+  (* the diagnostic names the buffer size and how often it was handed out *)
+  Alcotest.check_raises "double"
+    (Invalid_argument
+       "Mempool.release: double release of a 10-element buffer (acquired 1 \
+        times from this pool)") (fun () -> Mempool.release p b)
 
 let test_mempool_foreign_release () =
   let p = Mempool.create () in
   let b = Buf.create 10 in
   Alcotest.check_raises "foreign"
-    (Invalid_argument "Mempool.release: buffer not from this pool") (fun () ->
-      Mempool.release p b)
+    (Invalid_argument "Mempool.release: buffer not from this pool (or stale view)")
+    (fun () -> Mempool.release p b)
 
 let test_mempool_stats_bytes () =
   let p = Mempool.create () in
@@ -142,7 +145,7 @@ let test_mempool_solver_two_cycles () =
   let module Problem = Repro_mg.Problem in
   let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(4, 4, 4) in
   let n = Cycle.min_n cfg * 8 in
-  let rt = Repro_core.Exec.runtime () in
+  Repro_core.Exec.with_runtime @@ fun rt ->
   let stepper =
     Solver.polymg_stepper cfg ~n ~opts:Repro_core.Options.opt_plus ~rt
   in
@@ -156,8 +159,65 @@ let test_mempool_solver_two_cycles () =
     s2.Mempool.fresh_allocs;
   check_int "cycle 2 is 100% pool hits"
     ((2 * s1.Mempool.reuse_hits) + s1.Mempool.fresh_allocs)
-    s2.Mempool.reuse_hits;
-  Repro_core.Exec.free_runtime rt
+    s2.Mempool.reuse_hits
+
+(* -- poison / canary mode ----------------------------------------------- *)
+
+let test_poison_fresh_is_snan () =
+  Mempool.with_pool ~poison:true @@ fun p ->
+  check_bool "poisoned" true (Mempool.poisoned p);
+  let b = Mempool.acquire p 16 in
+  check_int "view is exactly the request" 16 (Buf.len b);
+  for i = 0 to 15 do
+    check_bool "snan" true (Float.is_nan (Buf.get b i))
+  done;
+  Mempool.release p b
+
+let test_poison_stale_reuse_is_snan () =
+  Mempool.with_pool ~poison:true @@ fun p ->
+  let b = Mempool.acquire p 16 in
+  Buf.fill b 1.0;
+  Mempool.release p b;
+  (* reuse hands the same storage back, but the old values must be gone *)
+  let b2 = Mempool.acquire p 16 in
+  for i = 0 to 15 do
+    check_bool "stale data unreadable" true (Float.is_nan (Buf.get b2 i))
+  done;
+  Mempool.release p b2
+
+let contains msg needle =
+  let nl = String.length needle and ml = String.length msg in
+  let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+  go 0
+
+let test_poison_guard_clobber_detected () =
+  Mempool.with_pool ~poison:true @@ fun p ->
+  let b = Mempool.acquire p 16 in
+  (* simulate an out-of-bounds tile write: the view is 16 elements, but
+     unsafe writes past it land in the guard words of the raw buffer *)
+  Buf.unsafe_set b 16 42.0;
+  match Mempool.release p b with
+  | () -> Alcotest.fail "clobbered guard word not detected"
+  | exception Invalid_argument msg ->
+    check_bool "names the guard word" true
+      (contains msg "guard word 0 past a 16-element buffer")
+
+let test_with_buf_releases_on_exception () =
+  Mempool.with_pool ~poison:true @@ fun p ->
+  (try
+     Mempool.with_buf p 8 (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  check_int "released on exception" 0 (Mempool.live_count p);
+  (* and the buffer went back through the poisoning release path *)
+  let b = Mempool.acquire p 8 in
+  check_bool "repoisoned" true (Float.is_nan (Buf.get b 0))
+
+let test_plain_pool_unpoisoned () =
+  Mempool.with_pool @@ fun p ->
+  check_bool "not poisoned" false (Mempool.poisoned p);
+  let b = Mempool.acquire p 16 in
+  check_int "no guard overhead in view" 16 (Buf.len b);
+  Mempool.release p b
 
 let prop_pool_serves_cycles =
   QCheck.Test.make
@@ -192,5 +252,16 @@ let () =
           Alcotest.test_case "clear" `Quick test_mempool_clear;
           Alcotest.test_case "solver two cycles" `Quick
             test_mempool_solver_two_cycles ] );
+      ( "poison",
+        [ Alcotest.test_case "fresh buffers are signaling NaN" `Quick
+            test_poison_fresh_is_snan;
+          Alcotest.test_case "stale data unreadable after reuse" `Quick
+            test_poison_stale_reuse_is_snan;
+          Alcotest.test_case "guard-word clobber detected" `Quick
+            test_poison_guard_clobber_detected;
+          Alcotest.test_case "with_buf releases on exception" `Quick
+            test_with_buf_releases_on_exception;
+          Alcotest.test_case "plain pool unpoisoned" `Quick
+            test_plain_pool_unpoisoned ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_pool_serves_cycles ] ) ]
