@@ -1,0 +1,190 @@
+(* Bench/metrics regression comparator: diffs two BENCH_results.json
+   (schema polymg.bench/1) or mg_solve --metrics (polymg.metrics/1)
+   documents, matching measurements by key and flagging any slowdown
+   beyond a noise threshold.
+
+   Usage:
+     compare.exe OLD.json NEW.json [--threshold 0.25] [--relative VARIANT]
+
+   Keys:
+     bench files    "<bench> n=<n> dims=<d> domains=<p> <variant>"
+                    value: seconds per cycle (min of reps)
+     metrics files  "<bench> n=<n> cycle_seconds" and, per executed
+                    stage, "<bench> n=<n> stage:<name>" (ns per plan
+                    execution) — the variant is deliberately NOT part of
+                    the key, so comparing an opt run against a naive run
+                    of the same problem flags exactly the stages that
+                    got slower.
+
+   --relative VARIANT normalizes every bench row by that variant's time
+   within the same (bench, n, dims, domains) group of the SAME file, so
+   the comparison checks optimization speedups rather than absolute
+   machine speed — the right gate for CI runners of unknown hardware.
+
+   Exit status: 0 when no key regressed, 1 otherwise. *)
+
+module Json = Repro_runtime.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_doc path =
+  let ic = try open_in_bin path with Sys_error m -> fail "compare: %s" m in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.parse s with
+  | Ok d -> d
+  | Error m -> fail "compare: %s: %s" path m
+
+let str j = Option.value (Json.to_str j) ~default:""
+let num j = Option.value (Json.to_float j) ~default:nan
+let inum j = Option.value (Json.to_int j) ~default:0
+
+(* -> (key, value) rows in file order *)
+let rows_of_bench doc ~relative =
+  let records =
+    match Json.member "records" doc with
+    | Some r -> Json.to_list r
+    | None -> []
+  in
+  let field r k = Option.value (Json.member k r) ~default:Json.Null in
+  let group r =
+    Printf.sprintf "%s n=%d dims=%d domains=%d"
+      (str (field r "bench"))
+      (inum (field r "n"))
+      (inum (field r "dims"))
+      (inum (field r "domains"))
+  in
+  let base_time =
+    match relative with
+    | None -> fun _ -> 1.0
+    | Some v ->
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          if str (field r "variant") = v then
+            Hashtbl.replace tbl (group r) (num (field r "s_per_cycle")))
+        records;
+      fun r ->
+        (match Hashtbl.find_opt tbl (group r) with
+         | Some t when t > 0.0 -> t
+         | Some _ | None ->
+           fail "compare: --relative %s: no base row for %s" v (group r))
+  in
+  List.filter_map
+    (fun r ->
+      let v = str (field r "variant") in
+      if relative = Some v then None (* the base normalizes to 1.0 *)
+      else
+        Some
+          ( Printf.sprintf "%s %s" (group r) v,
+            num (field r "s_per_cycle") /. base_time r ))
+    records
+
+let rows_of_metrics doc =
+  let mem k d = Option.value (Json.member k d) ~default:Json.Null in
+  let config = mem "config" doc in
+  let prefix =
+    Printf.sprintf "%s n=%d" (str (mem "bench" config)) (inum (mem "n" config))
+  in
+  let ncycles = List.length (Json.to_list (mem "cycles" doc)) in
+  let cycle_row =
+    if ncycles = 0 then []
+    else
+      [ ( prefix ^ " cycle_seconds",
+          num (mem "total_seconds" doc) /. float_of_int ncycles ) ]
+  in
+  let stage_rows =
+    List.filter_map
+      (fun s ->
+        let m = mem "measured" s in
+        let ns = num (mem "ns" m) and execs = inum (mem "execs" m) in
+        if execs = 0 then None
+        else
+          Some
+            ( Printf.sprintf "%s stage:%s" prefix (str (mem "name" s)),
+              ns /. float_of_int execs ))
+      (Json.to_list (mem "stages" doc))
+  in
+  cycle_row @ stage_rows
+
+let rows_of path ~relative =
+  let doc = read_doc path in
+  match Option.bind (Json.member "schema" doc) Json.to_str with
+  | Some "polymg.bench/1" -> rows_of_bench doc ~relative
+  | Some "polymg.metrics/1" -> rows_of_metrics doc
+  | Some s -> fail "compare: %s: unknown schema %s" path s
+  | None -> fail "compare: %s: missing \"schema\" field" path
+
+let () =
+  let threshold = ref 0.25 in
+  let relative = ref None in
+  let files = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some t when t > 0.0 -> threshold := t
+       | Some _ | None -> fail "compare: bad --threshold %s" v);
+      go rest
+    | "--relative" :: v :: rest ->
+      relative := Some v;
+      go rest
+    | f :: rest when String.length f = 0 || f.[0] <> '-' ->
+      files := f :: !files;
+      go rest
+    | f :: _ -> fail "compare: unknown option %s" f
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with
+    | [ a; b ] -> (a, b)
+    | _ ->
+      fail
+        "usage: compare.exe OLD.json NEW.json [--threshold 0.25] [--relative \
+         VARIANT]"
+  in
+  let old_rows = rows_of old_path ~relative:!relative in
+  let new_rows = rows_of new_path ~relative:!relative in
+  let regressions = ref 0 and improvements = ref 0 and missing = ref 0 in
+  Printf.printf "| key | old | new | ratio | verdict |\n";
+  Printf.printf "|---|---|---|---|---|\n";
+  List.iter
+    (fun (key, t_old) ->
+      match List.assoc_opt key new_rows with
+      | None ->
+        incr missing;
+        Printf.printf "| %s | %.4g | — | — | MISSING |\n" key t_old
+      | Some t_new ->
+        let ratio = if t_old > 0.0 then t_new /. t_old else nan in
+        let verdict =
+          if Float.is_nan ratio then "n/a"
+          else if ratio > 1.0 +. !threshold then begin
+            incr regressions;
+            "REGRESSION"
+          end
+          else if ratio < 1.0 -. !threshold then begin
+            incr improvements;
+            "improved"
+          end
+          else "ok"
+        in
+        Printf.printf "| %s | %.4g | %.4g | %.3f | %s |\n" key t_old t_new
+          ratio verdict)
+    old_rows;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key old_rows) then begin
+        incr missing;
+        Printf.printf "| %s | — | … | — | NEW |\n" key
+      end)
+    new_rows;
+  Printf.printf
+    "\ncompare: %d keys, %d regression(s), %d improvement(s), %d \
+     missing/new (threshold %.0f%%%s)\n"
+    (List.length old_rows) !regressions !improvements !missing
+    (100.0 *. !threshold)
+    (match !relative with
+     | Some v -> Printf.sprintf ", relative to %s" v
+     | None -> "");
+  exit (if !regressions > 0 then 1 else 0)

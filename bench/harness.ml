@@ -3,6 +3,7 @@
 open Repro_mg
 open Repro_core
 module Telemetry = Repro_runtime.Telemetry
+module Json = Repro_runtime.Json
 
 let init_gc () =
   (* keep bigarray custom-block accounting from forcing extra majors, so
@@ -111,15 +112,50 @@ let counters_json cs =
          cs)
   ^ "}"
 
+(* Every emitted record is also accumulated here so a run can end by
+   writing the whole trajectory as one machine-readable artifact
+   (BENCH_results.json, the file bench/compare.exe diffs). *)
+let records : Json.t list ref = ref []
+
+let record_json ~bench ~n ~dims ~domains ~vname ~seconds ~counters =
+  Json.Obj
+    [ ("bench", Json.Str bench);
+      ("n", Json.num n);
+      ("dims", Json.num dims);
+      ("domains", Json.num domains);
+      ("variant", Json.Str vname);
+      ("s_per_cycle", Json.Num seconds);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) counters))
+    ]
+
 (* One line per measurement, greppable as ^BENCH and parseable as JSON —
    the BENCH_*.json-compatible record every perf PR is judged against. *)
 let emit_bench_json ~bench ~n ~dims ~domains ~vname ~seconds ~counters =
+  records :=
+    record_json ~bench ~n ~dims ~domains ~vname ~seconds ~counters :: !records;
   Printf.printf
     "BENCH \
      {\"bench\":\"%s\",\"n\":%d,\"dims\":%d,\"domains\":%d,\"variant\":\"%s\",\"s_per_cycle\":%.6f,\"counters\":%s}\n"
     (Telemetry.json_escape bench) n dims domains
     (Telemetry.json_escape vname)
     seconds (counters_json counters)
+
+let write_results ?(path = "BENCH_results.json") () =
+  match !records with
+  | [] -> ()
+  | rs ->
+    let doc =
+      Json.Obj
+        [ ("schema", Json.Str "polymg.bench/1");
+          ("records", Json.Arr (List.rev rs)) ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Json.to_channel oc doc;
+        output_char oc '\n');
+    Printf.printf "wrote %s (%d records)\n" path (List.length rs)
 
 (* Counter snapshot from one instrumented cycle, run outside the timed
    region so telemetry never perturbs the measurement itself. *)
@@ -164,6 +200,12 @@ let assert_telemetry_noop () =
    timed region, and its counter snapshot is emitted as a BENCH record. *)
 let run_benchmark ?(domains = 1) ?(cycles = 2) ?(reps = 2) ?(json = true)
     ?variants cfg ~n =
+  (* counter hygiene: whatever instrumentation an earlier command left
+     on, timed regions run with telemetry off and zeroed state, and each
+     variant's snapshot (in counter_snapshot) is reset-bracketed so no
+     counts bleed between variants *)
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
   let variants = Option.value variants ~default:all_variants in
   let problem =
     Problem.poisson_random ~dims:cfg.Cycle.dims ~n ~seed:20170704

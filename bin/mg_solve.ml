@@ -29,7 +29,7 @@ let print_status_summary stats =
     (count Solver.Stagnated)
 
 let run dims cycle smoothing levels n variant cycles domains verbose profile
-    trace tol max_cycles guard no_fallback poison =
+    trace metrics tol max_cycles guard no_fallback poison =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -67,6 +67,7 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
   let problem = Problem.poisson ~dims ~n in
   let guard_mode = guard || tol <> None in
   Exec.with_runtime ~domains ~poison @@ fun rt ->
+  let plan_ref = ref None in
   let stepper =
     match variant with
     | "handopt" -> Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())
@@ -78,12 +79,12 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
     | v -> (
       match Options.variant_of_string v with
       | Some opts ->
-        if verbose then begin
-          let p = Cycle.build cfg in
-          let plan = Plan.build p ~opts ~n ~params:(Cycle.params cfg ~n) in
-          Format.printf "%a@." Plan.summary plan
-        end;
-        Solver.polymg_stepper cfg ~n ~opts ~rt
+        (* build once; the metrics report reuses the same plan so its
+           stage names match the executed spans *)
+        let plan = Solver.polymg_plan cfg ~n ~opts in
+        plan_ref := Some plan;
+        if verbose then Format.printf "%a@." Plan.summary plan;
+        Solver.plan_stepper plan ~rt
       | None ->
         Printf.eprintf
           "unknown variant %s (naive|opt|opt+|dtile-opt+|handopt|handopt+pluto)\n"
@@ -98,7 +99,7 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
   Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d%s\n"
     (Cycle.bench_name cfg) n levels variant domains
     (if poison then "  poison=on" else "");
-  if profile || trace <> None then begin
+  if profile || trace <> None || metrics <> None then begin
     Telemetry.reset ();
     Telemetry.set_enabled true
   end;
@@ -149,16 +150,37 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
       (if total_seconds = 0.0 then 0.0
        else 100.0 *. (span_total -. total_seconds) /. total_seconds)
   end;
-  match trace with
-  | Some path -> (
-    try
-      Telemetry.write_chrome_trace path;
-      Printf.printf "trace: wrote %s (load in chrome://tracing or Perfetto)\n"
-        path
-    with Sys_error msg ->
-      Printf.eprintf "trace: cannot write %s\n" msg;
-      exit 1)
+  (match trace with
+   | Some path -> (
+     try
+       Telemetry.write_chrome_trace path;
+       Printf.printf "trace: wrote %s (load in chrome://tracing or Perfetto)\n"
+         path
+     with Sys_error msg ->
+       Printf.eprintf "trace: cannot write %s\n" msg;
+       exit 1)
+   | None -> ());
+  match metrics with
   | None -> ()
+  | Some path ->
+    let plan = !plan_ref in
+    let cost = Option.map Cost.of_plan plan in
+    let roofline = Repro_runtime.Roofline.get () in
+    Repro_runtime.Metrics.reset ();
+    Repro_runtime.Metrics.ingest_spans (Telemetry.spans ());
+    let doc =
+      Perf_report.build ~cfg ~n ~variant ~domains ~cost ~plan ~stats
+        ~total_seconds ~spans:(Telemetry.spans ())
+        ~counters:(Telemetry.counters ()) ~roofline
+    in
+    (try Perf_report.write ~path doc
+     with Sys_error msg ->
+       Printf.eprintf "metrics: cannot write %s\n" msg;
+       exit 1);
+    Printf.printf
+      "metrics: wrote %s (roofline %.1f GB/s, %.1f GFLOP/s)\n" path
+      roofline.Repro_runtime.Roofline.bandwidth_gbs
+      roofline.Repro_runtime.Roofline.gflops
 
 let dims_t =
   Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank (2 or 3).")
@@ -207,6 +229,17 @@ let trace_t =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a Chrome trace-event JSON file of the run.")
 
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a self-describing JSON metrics document for the run: \
+           config, plan digest, per-stage predicted bytes/FLOPs vs \
+           measured time against the machine roofline, residual history \
+           and runtime counters.")
+
 let tol_t =
   Arg.(
     value
@@ -253,7 +286,7 @@ let cmd =
     (Cmd.info "mg_solve" ~doc)
     Term.(
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
-      $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ tol_t
-      $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t)
+      $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ metrics_t
+      $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t)
 
 let () = exit (Cmd.eval cmd)

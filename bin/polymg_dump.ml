@@ -15,13 +15,19 @@ open Repro_mg
 open Repro_core
 module Telemetry = Repro_runtime.Telemetry
 
-(* Predicted side: what the optimizer claims the plan will do.  Storage
-   savings are measured against ablated rebuilds of the same plan (the
-   Fig. 11b methodology). *)
+(* Predicted side: what the optimizer claims the plan will do — all
+   numbers come from the Cost model (the same one behind --what cost and
+   mg_solve --metrics, so the three can never disagree).  Storage savings
+   are measured against ablated rebuilds of the same plan (the Fig. 11b
+   methodology). *)
 let explain_predicted pipeline cfg ~(opts : Options.t) ~n plan =
   let params = Cycle.params cfg ~n in
-  let computed = Exec.points_computed plan in
-  let domain = Exec.points_domain plan in
+  let cost = Cost.of_plan plan in
+  let sum f =
+    Array.fold_left (fun a (s : Cost.stage) -> a + f s) 0 cost.Cost.stages
+  in
+  let computed = sum (fun s -> s.Cost.points) in
+  let domain = sum (fun s -> s.Cost.domain) in
   Printf.printf "predicted:\n";
   Printf.printf "  groups %d  members %d  arrays %d\n" (Plan.group_count plan)
     (Plan.member_count plan) (Plan.array_count plan);
@@ -49,18 +55,30 @@ let explain_predicted pipeline cfg ~(opts : Options.t) ~n plan =
     "  points computed %d  useful %d  expected redundant fraction %.2f%%\n"
     computed domain
     (100.0 *. ((float_of_int computed /. float_of_int domain) -. 1.0));
-  Array.iter
-    (fun g ->
+  let mb x = float_of_int x /. 1048576.0 in
+  Printf.printf
+    "  dram traffic %.2f MiB/cycle (read %.2f, write %.2f)  scratch %.2f MiB\n"
+    (mb (Cost.total_bytes cost))
+    (mb cost.Cost.dram_read) (mb cost.Cost.dram_write)
+    (mb cost.Cost.scratch_traffic);
+  Printf.printf "  flops %.2fM/cycle  arithmetic intensity %.3f flop/byte\n"
+    (cost.Cost.flops /. 1e6) cost.Cost.intensity;
+  Array.iteri
+    (fun gi g ->
+      let cg = cost.Cost.groups.(gi) in
+      let ws =
+        Printf.sprintf "working set %.2f MiB (%s)" (mb cg.Cost.working_set)
+          cg.Cost.fits_in
+      in
       match g with
       | Plan.G_tiled tg ->
         Printf.printf
-          "  group %d: overlapped, %d members, %d tiles, redundancy %.2f%%\n"
+          "  group %d: overlapped, %d members, %d tiles, redundancy %.2f%%, %s\n"
           tg.Plan.gid
           (Array.length tg.Plan.members)
           (Array.length tg.Plan.tiles)
-          (100.0
-           *. Repro_poly.Regions.redundancy tg.Plan.geom
-                ~tile_sizes:tg.Plan.tile_sizes)
+          (100.0 *. cg.Cost.redundancy)
+          ws
       | Plan.G_diamond dg ->
         let scheme =
           match dg.Plan.scheme with
@@ -69,9 +87,11 @@ let explain_predicted pipeline cfg ~(opts : Options.t) ~n plan =
           | Plan.Sched_skewed { tau; sigma } ->
             Printf.sprintf "skewed tau=%d sigma=%d" tau sigma
         in
-        Printf.printf "  group %d: time-tiled (%s), %d steps, redundancy 0%%\n"
+        Printf.printf
+          "  group %d: time-tiled (%s), %d steps, redundancy 0%%, %s\n"
           dg.Plan.gid scheme
-          (Array.length dg.Plan.steps))
+          (Array.length dg.Plan.steps)
+          ws)
     plan.Plan.groups
 
 (* Measured side: one instrumented trial cycle of the same variant. *)
@@ -130,6 +150,11 @@ let run dims cycle smoothing levels n variant what =
   | "c" ->
     let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
     print_string (C_emit.to_string plan)
+  | "cost" ->
+    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+    Printf.printf "== cost: %s  n=%d  variant=%s ==\n" (Cycle.bench_name cfg)
+      n (Options.name opts);
+    Format.printf "%a@." Cost.pp (Cost.of_plan plan)
   | "explain" ->
     let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
     Printf.printf "== plan explain: %s  n=%d  variant=%s ==\n"
@@ -149,7 +174,9 @@ let run dims cycle smoothing levels n variant what =
       Printf.printf "plan check: FAILED — %d issue%s\n" (List.length issues)
         (if List.length issues = 1 then "" else "s");
       exit 1)
-  | _ -> prerr_endline "what must be dag, groups, c, explain or check"; exit 2
+  | _ ->
+    prerr_endline "what must be dag, groups, c, cost, explain or check";
+    exit 2
 
 let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
 let cycle_t = Arg.(value & opt string "V" & info [ "cycle" ] ~doc:"V, W or F.")
@@ -167,7 +194,8 @@ let what_t =
   Arg.(
     value & opt string "groups"
     & info [ "what" ]
-        ~doc:"What to print: dag, groups, c, explain, or check (run the \
+        ~doc:"What to print: dag, groups, c, cost (the analytical \
+              per-stage bytes/FLOPs model), explain, or check (run the \
               Plan_check storage-safety pass and report violations).")
 
 let cmd =

@@ -305,7 +305,9 @@ let run_diamond ctx (dg : Plan.diamond_group) =
                 ~region));
       if t_front <> 0 then
         Telemetry.end_span t_front ~cat:"stage"
-          ~args:[ ("tiles", Telemetry.Int (Array.length front)) ]
+          ~args:
+            [ ("tiles", Telemetry.Int (Array.length front));
+              ("gid", Telemetry.Int dg.Plan.gid) ]
           "diamond.front")
     fronts;
   inject ~gid:dg.Plan.gid ~stage:last.Plan.func.Func.name out_src;

@@ -1,0 +1,211 @@
+open Repro_core
+module Json = Repro_runtime.Json
+module Telemetry = Repro_runtime.Telemetry
+module Metrics = Repro_runtime.Metrics
+module Roofline = Repro_runtime.Roofline
+
+let plan_digest plan =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Plan.summary plan))
+
+(* span name -> (total ns, count); diamond front time keyed by gid *)
+let aggregate spans =
+  let by_name : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let front_by_gid : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      let t, c =
+        Option.value (Hashtbl.find_opt by_name s.Telemetry.name) ~default:(0, 0)
+      in
+      Hashtbl.replace by_name s.Telemetry.name
+        (t + s.Telemetry.dur_ns, c + 1);
+      if s.Telemetry.name = "diamond.front" then begin
+        match List.assoc_opt "gid" s.Telemetry.args with
+        | Some (Telemetry.Int gid) ->
+          let t =
+            Option.value (Hashtbl.find_opt front_by_gid gid) ~default:0
+          in
+          Hashtbl.replace front_by_gid gid (t + s.Telemetry.dur_ns)
+        | _ -> ()
+      end)
+    spans;
+  (by_name, front_by_gid)
+
+let fnum f = if Float.is_finite f then Json.Num f else Json.Null
+
+let stage_json ~execs ~by_name ~front_by_gid ~group_flops ~kinds
+    ~(roofline : Roofline.t) (s : Cost.stage) =
+  let ai = Cost.stage_intensity s in
+  let diamond =
+    match Hashtbl.find_opt kinds s.Cost.gid with
+    | Some `Diamond -> true
+    | _ -> false
+  in
+  let measured_ns, attributed =
+    if diamond then begin
+      let front =
+        Option.value (Hashtbl.find_opt front_by_gid s.Cost.gid) ~default:0
+      in
+      let total = Option.value (Hashtbl.find_opt group_flops s.Cost.gid)
+                    ~default:0.0 in
+      let share = if total > 0.0 then s.Cost.flops /. total else 0.0 in
+      (float_of_int front *. share, true)
+    end
+    else
+      match Hashtbl.find_opt by_name ("stage:" ^ s.Cost.name) with
+      | Some (t, _) -> (float_of_int t, false)
+      | None -> (0.0, false)
+  in
+  let per_exec = float_of_int execs in
+  let achieved_gbs =
+    if measured_ns > 0.0 then
+      float_of_int (Cost.stage_bytes s) *. per_exec /. measured_ns
+    else nan
+  in
+  let achieved_gflops =
+    if measured_ns > 0.0 then s.Cost.flops *. per_exec /. measured_ns else nan
+  in
+  let roof =
+    if Float.is_finite ai then Roofline.roof_gflops roofline ~intensity:ai
+    else roofline.Roofline.gflops
+  in
+  Json.Obj
+    [ ("name", Json.Str s.Cost.name);
+      ("gid", Json.num s.Cost.gid);
+      ( "predicted",
+        Json.Obj
+          [ ("points", Json.num s.Cost.points);
+            ("domain", Json.num s.Cost.domain);
+            ("flops_per_point", Json.Num s.Cost.flops_per_point);
+            ("flops", Json.Num s.Cost.flops);
+            ("dram_read_bytes", Json.num s.Cost.dram_read);
+            ("dram_write_bytes", Json.num s.Cost.dram_write);
+            ("scratch_read_bytes", Json.num s.Cost.scratch_read);
+            ("scratch_write_bytes", Json.num s.Cost.scratch_write);
+            ("intensity", fnum ai) ] );
+      ( "measured",
+        Json.Obj
+          [ ("ns", Json.Num measured_ns);
+            ("execs", Json.num execs);
+            ("attributed", Json.Bool attributed);
+            ("achieved_gbs", fnum achieved_gbs);
+            ("achieved_gflops", fnum achieved_gflops);
+            ("roof_gflops", fnum roof);
+            ( "roofline_fraction",
+              fnum
+                (if roof > 0.0 && Float.is_finite achieved_gflops then
+                   achieved_gflops /. roof
+                 else nan) ) ] ) ]
+
+let status_str (s : Solver.cycle_stats) = Solver.status_name s.Solver.status
+
+let build ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds ~spans
+    ~counters ~(roofline : Roofline.t) =
+  let by_name, front_by_gid = aggregate spans in
+  let execs =
+    match Hashtbl.find_opt by_name "exec.run" with Some (_, c) -> c | None -> 0
+  in
+  let plan_json =
+    match plan with
+    | None -> Json.Null
+    | Some p ->
+      Json.Obj
+        [ ("digest", Json.Str (plan_digest p));
+          ("groups", Json.num (Plan.group_count p));
+          ("members", Json.num (Plan.member_count p));
+          ("arrays", Json.num (Plan.array_count p));
+          ("array_bytes", Json.num (Plan.total_array_bytes p));
+          ( "scratch_bytes_per_thread",
+            Json.num (Plan.scratch_bytes_per_thread p) ) ]
+  in
+  let cost_json, stages_json, groups_json =
+    match cost with
+    | None -> (Json.Null, Json.Arr [], Json.Arr [])
+    | Some c ->
+      let kinds = Hashtbl.create 8 in
+      let group_flops = Hashtbl.create 8 in
+      Array.iter
+        (fun (g : Cost.group) -> Hashtbl.replace kinds g.Cost.g_gid g.Cost.kind)
+        c.Cost.groups;
+      Array.iter
+        (fun (s : Cost.stage) ->
+          let t =
+            Option.value (Hashtbl.find_opt group_flops s.Cost.gid) ~default:0.0
+          in
+          Hashtbl.replace group_flops s.Cost.gid (t +. s.Cost.flops))
+        c.Cost.stages;
+      ( Json.Obj
+          [ ("dram_read_bytes", Json.num c.Cost.dram_read);
+            ("dram_write_bytes", Json.num c.Cost.dram_write);
+            ("scratch_traffic_bytes", Json.num c.Cost.scratch_traffic);
+            ("flops", Json.Num c.Cost.flops);
+            ("useful_flops", Json.Num c.Cost.useful_flops);
+            ("intensity", fnum c.Cost.intensity) ],
+        Json.Arr
+          (Array.to_list
+             (Array.map
+                (stage_json ~execs ~by_name ~front_by_gid ~group_flops ~kinds
+                   ~roofline)
+                c.Cost.stages)),
+        Json.Arr
+          (Array.to_list
+             (Array.map
+                (fun (g : Cost.group) ->
+                  Json.Obj
+                    [ ("gid", Json.num g.Cost.g_gid);
+                      ( "kind",
+                        Json.Str
+                          (match g.Cost.kind with
+                           | `Tiled -> "tiled"
+                           | `Diamond -> "diamond") );
+                      ("working_set_bytes", Json.num g.Cost.working_set);
+                      ("fits_in", Json.Str g.Cost.fits_in);
+                      ("redundancy", Json.Num g.Cost.redundancy);
+                      ( "stages",
+                        Json.Arr
+                          (List.map (fun s -> Json.Str s) g.Cost.stage_names)
+                      ) ])
+                c.Cost.groups)) )
+  in
+  let cycles_json =
+    Json.Arr
+      (List.map
+         (fun (s : Solver.cycle_stats) ->
+           Json.Obj
+             [ ("cycle", Json.num s.Solver.cycle);
+               ("residual", fnum s.Solver.residual);
+               ("seconds", Json.Num s.Solver.seconds);
+               ("status", Json.Str (status_str s)) ])
+         stats)
+  in
+  Json.Obj
+    [ ("schema", Json.Str "polymg.metrics/1");
+      ( "config",
+        Json.Obj
+          [ ("bench", Json.Str (Cycle.bench_name cfg));
+            ("dims", Json.num cfg.Cycle.dims);
+            ("n", Json.num n);
+            ("levels", Json.num cfg.Cycle.levels);
+            ("variant", Json.Str variant);
+            ("domains", Json.num domains);
+            ("cycles", Json.num (List.length stats)) ] );
+      ( "roofline",
+        Json.Obj
+          [ ("bandwidth_gbs", Json.Num roofline.Roofline.bandwidth_gbs);
+            ("gflops", Json.Num roofline.Roofline.gflops) ] );
+      ("plan", plan_json);
+      ("cost", cost_json);
+      ("stages", stages_json);
+      ("groups", groups_json);
+      ("cycles", cycles_json);
+      ("total_seconds", Json.Num total_seconds);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) counters) );
+      ("metrics", Metrics.to_json ()) ]
+
+let write ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc doc;
+      output_char oc '\n')

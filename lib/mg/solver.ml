@@ -73,15 +73,20 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
   done;
   { stats = List.rev !stats; v = !cur; total_seconds = !total }
 
-let polymg_stepper cfg ~n ~opts ~rt =
+let polymg_plan cfg ~n ~opts =
   let pipeline = Cycle.build cfg in
-  let plan = Plan_check.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+  Plan_check.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n)
+
+let plan_stepper plan ~rt =
+  let pipeline = plan.Plan.pipeline in
   let vin = Cycle.input_v pipeline in
   let fin = Cycle.input_f pipeline in
   let out = Cycle.output pipeline in
   fun ~v ~f ~out:out_grid ->
     Exec.run plan rt ~inputs:[ (vin, v); (fin, f) ]
       ~outputs:[ (out, out_grid) ]
+
+let polymg_stepper cfg ~n ~opts ~rt = plan_stepper (polymg_plan cfg ~n ~opts) ~rt
 
 let solve cfg ~n ~opts ?(domains = 1) ~cycles ?(residuals = true) () =
   Exec.with_runtime ~domains (fun rt ->

@@ -47,13 +47,22 @@ val iterate :
     is {!Ok}.  For fault detection with rollback and fallback, use
     {!Guard.run} instead. *)
 
+val polymg_plan :
+  Cycle.config -> n:int -> opts:Repro_core.Options.t -> Repro_core.Plan.t
+(** Builds the cycle pipeline and optimizes it into a plan (through
+    {!Repro_core.Plan_check.build}, so [opts.check_plan] validates the
+    storage mapping before first use). *)
+
+val plan_stepper : Repro_core.Plan.t -> rt:Repro_core.Exec.runtime -> stepper
+(** The stepper executing an already-built cycle plan — callers that also
+    want to report on the plan ({!Repro_core.Cost}, {!Perf_report}) build
+    it once with {!polymg_plan} and reuse it here, so stage names in the
+    report match the executed spans. *)
+
 val polymg_stepper :
   Cycle.config -> n:int -> opts:Repro_core.Options.t -> rt:Repro_core.Exec.runtime ->
   stepper
-(** Builds the pipeline, optimizes it into a plan once (through
-    {!Repro_core.Plan_check.build}, so [opts.check_plan] validates the
-    storage mapping before first use), and returns the stepper that
-    executes it. *)
+(** [plan_stepper (polymg_plan cfg ~n ~opts) ~rt]. *)
 
 val solve :
   Cycle.config -> n:int -> opts:Repro_core.Options.t ->

@@ -1,0 +1,45 @@
+(** Minimal JSON values: just enough for the machine-readable sinks.
+
+    The telemetry/metrics subsystem emits several JSON documents (Chrome
+    traces, metrics documents, BENCH records) and the bench comparator
+    reads them back; this module is the shared value type, printer and
+    parser so emitters and consumers can never disagree on syntax.  It
+    is deliberately small — no streaming, no numbers beyond [float] —
+    and has no dependencies, so every layer (runtime, bench, tests) can
+    use it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val num : int -> t
+(** Integer-valued {!Num}. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val to_string : t -> string
+(** Compact single-line serialization.  Integral floats print without a
+    fractional part, so counters round-trip as integers. *)
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset this module prints (standard JSON minus
+    exotic number forms; [\u] escapes are accepted but decoded as ['?']).
+    Errors carry a byte offset. *)
+
+(** {2 Accessors} (total: return [None]/defaults rather than raising) *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for missing fields and non-objects. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list
+(** Elements of an array; [[]] for non-arrays. *)

@@ -1,0 +1,87 @@
+(** Metrics registry: log-scale histograms, labelled gauges and counters,
+    with percentile summaries and machine-readable sinks.
+
+    This extends {!Telemetry} from raw spans/counters to aggregated
+    series a monitoring stack can scrape: every series is interned by
+    [(name, labels)], histograms bucket values on a log2 scale (64
+    buckets, bucket [k] covering [[2^k, 2^(k+1))]), and two sinks render
+    the whole registry — {!to_json} (one self-describing document) and
+    {!to_openmetrics} (Prometheus/OpenMetrics text exposition, including
+    the {!Telemetry} runtime counters).
+
+    Gating follows the telemetry flag: {!observe} and {!incr_by} are
+    no-ops costing a single branch-predictable flag test (and zero
+    allocations) while telemetry is disabled, so instrumented hot paths
+    time identically to the seed.  {!record} bypasses the gate — it is
+    the sink-side ingestion path ({!ingest_spans} runs after a
+    measurement, when telemetry has already been switched off).
+
+    Recording is multi-domain safe (per-bucket atomics); the sinks and
+    {!reset} must run while no domain is recording. *)
+
+type histogram
+
+val histogram : ?labels:(string * string) list -> string -> histogram
+(** Interns a histogram series: same [(name, labels)] yields the same
+    series.  [name] should be a valid metric name
+    ([[a-zA-Z_][a-zA-Z0-9_]*]); labels carry arbitrary strings. *)
+
+val observe : histogram -> float -> unit
+(** Records a non-negative sample; a no-op when telemetry is disabled. *)
+
+val record : histogram -> float -> unit
+(** Ungated {!observe}, for sink-time ingestion and tests. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [[0, 1]]: linear interpolation inside the
+    covering log2 bucket, clamped to the observed min/max.  [0.] when the
+    series is empty. *)
+
+val buckets : histogram -> (float * int) list
+(** Cumulative bucket counts as [(upper_bound, count <= bound)] pairs,
+    trimmed to the populated range; monotonically non-decreasing. *)
+
+type gauge
+
+val gauge : ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type lcounter
+(** A labelled monotonic counter ({!Telemetry.counter} carries a bare
+    name; these carry a label set, e.g. per-stage or per-variant). *)
+
+val lcounter : ?labels:(string * string) list -> string -> lcounter
+
+val incr_by : lcounter -> int -> unit
+(** Atomic add; a no-op when telemetry is disabled. *)
+
+val lcounter_value : lcounter -> int
+
+val reset : unit -> unit
+(** Drops every registered series, so the next sink render starts from a
+    clean registry (mirrors {!Telemetry.reset}).  Handles obtained
+    before the reset keep accepting updates but are detached — they no
+    longer appear in {!to_json}/{!to_openmetrics}; re-intern to
+    re-attach. *)
+
+val ingest_spans : Telemetry.span list -> unit
+(** Folds completed spans into [span_duration_ns{name=...}] histograms —
+    the bridge from the span log to scrapeable duration distributions. *)
+
+(** {2 Sinks} *)
+
+val to_json : unit -> Json.t
+(** [{ "histograms": [...], "gauges": [...], "counters": {...} }] with
+    per-histogram count/sum/min/max/p50/p90/p99 and cumulative buckets.
+    Includes the {!Telemetry} counters under ["counters"]. *)
+
+val to_openmetrics : unit -> string
+(** OpenMetrics text exposition: histogram families with cumulative
+    [_bucket{le=...}]/[_sum]/[_count] lines, gauges, labelled counters,
+    and the {!Telemetry} runtime counters as
+    [polymg_runtime_counter_total{name="..."}].  Label values are
+    escaped; ends with [# EOF]. *)

@@ -1,0 +1,28 @@
+(** Machine roofline: measured-once STREAM-style memory bandwidth and a
+    register-resident multiply-add peak, the two ceilings achieved
+    per-stage GB/s and GFLOP/s are judged against (Williams et al.,
+    "Roofline: an insightful visual performance model").
+
+    Both probes are deliberately crude — a triad sweep over arrays far
+    larger than cache, and independent multiply-add chains that never
+    touch memory — because the model only needs the right order of
+    magnitude to say "this stage runs at 80% of what its memory traffic
+    predicts" vs "this stage is nowhere near the roof". *)
+
+type t = {
+  bandwidth_gbs : float;  (** sustained triad bandwidth, GB/s *)
+  gflops : float;  (** sustained scalar multiply-add rate, GFLOP/s *)
+}
+
+val measure : ?mib:int -> ?reps:int -> unit -> t
+(** Runs both probes now.  [mib] (default 48) is the total triad working
+    set across the three arrays; [reps] (default 3) takes the best pass.
+    Costs roughly [reps] × tens of milliseconds. *)
+
+val get : unit -> t
+(** The process-wide roofline, measured on first call and cached — so a
+    metrics document can embed it without re-paying the probe. *)
+
+val roof_gflops : t -> intensity:float -> float
+(** The roofline ceiling at a given arithmetic intensity (FLOP/byte):
+    [min gflops (intensity * bandwidth_gbs)]. *)

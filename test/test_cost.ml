@@ -1,0 +1,123 @@
+(* Cost model: hand-computed bytes/FLOPs for a two-stage 2-D Jacobi
+   pipeline must match Cost.of_plan exactly under both storage regimes
+   (naive per-stage arrays vs fused scratch), and modelled DRAM traffic
+   must never increase when the optimizations are enabled.
+
+   Hand derivation, interior m×m with m = n, halo ring h = n+2:
+     each Jacobi stage linearizes to 6 terms (4 neighbours + centre +
+     rhs), i.e. 12 FLOPs/point; its 5-point read footprint over the
+     interior is h², the rhs (centre-only) footprint is m².
+
+     naive (2 groups, arrays only):
+       reads  = 2 stages × 8(h² + m²)      writes = 2 × 8m²
+       flops  = 2 × 12m²                   scratch = 0
+     opt, single tile (1 group, T1 in scratch):
+       T1 computes the halo too (h² points) into scratch; T2 reads it
+       back from scratch and writes the only live-out:
+       reads  = 8(h² + 2m²)                writes = 8m²
+       flops  = 12(h² + m²)                scratch = 2 × 8h² *)
+
+open Repro_ir
+open Repro_core
+
+let jac src f =
+  Expr.(
+    (const 0.25 * load src.Func.id [| -1; 0 |])
+    + (const 0.25 * load src.Func.id [| 1; 0 |])
+    + (const 0.25 * load src.Func.id [| 0; -1 |])
+    + (const 0.25 * load src.Func.id [| 0; 1 |])
+    + (const 0.2 * load src.Func.id [| 0; 0 |])
+    + (const 0.05 * load f.Func.id [| 0; 0 |]))
+
+let jacobi2 () =
+  let s = Sizeexpr.n in
+  let ctx = Dsl.create "jac2" in
+  let v = Dsl.grid ctx "V" ~dims:2 ~sizes:[| s; s |] in
+  let f = Dsl.grid ctx "F" ~dims:2 ~sizes:[| s; s |] in
+  let t1 = Dsl.func ctx ~name:"T1" ~sizes:[| s; s |] (jac v f) in
+  let t2 = Dsl.func ctx ~name:"T2" ~sizes:[| s; s |] (jac t1 f) in
+  Dsl.finish ctx ~outputs:[ t2 ]
+
+let cost_of ~opts ~n p = Cost.of_plan (Plan.build p ~opts ~n ~params:invalid_arg)
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_naive_exact () =
+  let n = 16 in
+  let m2 = n * n and h2 = (n + 2) * (n + 2) in
+  let c = cost_of ~opts:Options.naive ~n (jacobi2 ()) in
+  check "stages" 2 (Array.length c.Cost.stages);
+  Array.iter
+    (fun (s : Cost.stage) ->
+      checkf (s.Cost.name ^ " flops/pt") 12.0 s.Cost.flops_per_point;
+      check (s.Cost.name ^ " points") m2 s.Cost.points;
+      check (s.Cost.name ^ " dram read") (8 * (h2 + m2)) s.Cost.dram_read;
+      check (s.Cost.name ^ " dram write") (8 * m2) s.Cost.dram_write;
+      check (s.Cost.name ^ " scratch") 0
+        (s.Cost.scratch_read + s.Cost.scratch_write))
+    c.Cost.stages;
+  check "total dram read" (2 * 8 * (h2 + m2)) c.Cost.dram_read;
+  check "total dram write" (2 * 8 * m2) c.Cost.dram_write;
+  check "total scratch" 0 c.Cost.scratch_traffic;
+  checkf "total flops" (float_of_int (24 * m2)) c.Cost.flops;
+  checkf "intensity"
+    (float_of_int (24 * m2) /. float_of_int ((2 * 8 * (h2 + m2)) + (2 * 8 * m2)))
+    c.Cost.intensity
+
+let test_opt_exact () =
+  let n = 16 in
+  let m2 = n * n and h2 = (n + 2) * (n + 2) in
+  let c = cost_of ~opts:Options.opt ~n (jacobi2 ()) in
+  check "one fused group" 1 (Array.length c.Cost.groups);
+  check "stages" 2 (Array.length c.Cost.stages);
+  let t1 = c.Cost.stages.(0) and t2 = c.Cost.stages.(1) in
+  Alcotest.(check string) "order" "T1" t1.Cost.name;
+  (* T1: computes the halo redundantly into scratch, reads V + rhs *)
+  check "T1 points (halo included)" h2 t1.Cost.points;
+  check "T1 domain" m2 t1.Cost.domain;
+  check "T1 dram read" (8 * (h2 + m2)) t1.Cost.dram_read;
+  check "T1 dram write" 0 t1.Cost.dram_write;
+  check "T1 scratch write" (8 * h2) t1.Cost.scratch_write;
+  (* T2: reads T1 back through scratch, writes the only live-out *)
+  check "T2 scratch read" (8 * h2) t2.Cost.scratch_read;
+  check "T2 dram read (rhs only)" (8 * m2) t2.Cost.dram_read;
+  check "T2 dram write" (8 * m2) t2.Cost.dram_write;
+  checkf "flops include redundancy"
+    (float_of_int (12 * (h2 + m2)))
+    c.Cost.flops;
+  checkf "useful flops" (float_of_int (24 * m2)) c.Cost.useful_flops;
+  check "total scratch" (2 * 8 * h2) c.Cost.scratch_traffic;
+  (* naive vs opt: fusing away T1's array removes exactly one h² read
+     and one m² write of DRAM traffic *)
+  let cn = cost_of ~opts:Options.naive ~n (jacobi2 ()) in
+  check "read saving" (8 * h2) (cn.Cost.dram_read - c.Cost.dram_read);
+  check "write saving" (8 * m2) (cn.Cost.dram_write - c.Cost.dram_write)
+
+(* Reuse can only re-route traffic off DRAM (or drop whole arrays), never
+   add bytes: for any generated pipeline, the modelled DRAM traffic of an
+   optimized plan is bounded by the naive plan's. *)
+let prop_reuse_never_increases_traffic =
+  QCheck.Test.make ~count:60 ~name:"optimized DRAM traffic <= naive"
+    Pipeline_gen.pipelines_arb (fun stages ->
+      let p, _, _ = Pipeline_gen.gen_pipeline_of stages in
+      let n = 32 in
+      let naive = cost_of ~opts:Options.naive ~n p in
+      List.for_all
+        (fun opts ->
+          let c = cost_of ~opts ~n p in
+          Cost.total_bytes c <= Cost.total_bytes naive
+          && c.Cost.dram_read <= naive.Cost.dram_read
+          && c.Cost.dram_write <= naive.Cost.dram_write)
+        [ Options.opt; Options.opt_plus ])
+
+let () =
+  Alcotest.run "cost"
+    [ ( "hand-computed",
+        [ Alcotest.test_case "2-stage Jacobi, naive storage" `Quick
+            test_naive_exact;
+          Alcotest.test_case "2-stage Jacobi, fused scratch storage" `Quick
+            test_opt_exact ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_reuse_never_increases_traffic ] )
+    ]
