@@ -21,7 +21,11 @@
    the comparison checks optimization speedups rather than absolute
    machine speed — the right gate for CI runners of unknown hardware.
 
-   Exit status: 0 when no key regressed, 1 otherwise. *)
+   Exit status: 0 when no key regressed, 1 when at least one key
+   regressed, 2 on usage errors and unusable inputs — a missing or
+   unreadable file, malformed JSON, an unknown schema, or a document
+   with no comparable measurements (empty comparisons never pass
+   silently). *)
 
 module Json = Repro_runtime.Json
 
@@ -29,8 +33,12 @@ let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
 let read_doc path =
   let ic = try open_in_bin path with Sys_error m -> fail "compare: %s" m in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
+  let s =
+    try really_input_string ic (in_channel_length ic)
+    with End_of_file | Sys_error _ ->
+      close_in_noerr ic;
+      fail "compare: %s: cannot read" path
+  in
   close_in ic;
   match Json.parse s with
   | Ok d -> d
@@ -110,11 +118,18 @@ let rows_of_metrics doc =
 
 let rows_of path ~relative =
   let doc = read_doc path in
-  match Option.bind (Json.member "schema" doc) Json.to_str with
-  | Some "polymg.bench/1" -> rows_of_bench doc ~relative
-  | Some "polymg.metrics/1" -> rows_of_metrics doc
-  | Some s -> fail "compare: %s: unknown schema %s" path s
-  | None -> fail "compare: %s: missing \"schema\" field" path
+  let rows =
+    match Option.bind (Json.member "schema" doc) Json.to_str with
+    | Some "polymg.bench/1" -> rows_of_bench doc ~relative
+    | Some "polymg.metrics/1" -> rows_of_metrics doc
+    | Some s -> fail "compare: %s: unknown schema %s" path s
+    | None -> fail "compare: %s: missing \"schema\" field" path
+  in
+  (* A well-formed document with nothing to compare would make every
+     comparison vacuously pass — treat it as a malformed input. *)
+  if rows = [] then
+    fail "compare: %s: no comparable measurements (truncated run?)" path;
+  rows
 
 let () =
   let threshold = ref 0.25 in

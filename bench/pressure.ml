@@ -1,0 +1,356 @@
+(* Pressure campaign: the executable proof that resource governance
+   degrades gracefully instead of failing.  The resource-exhaustion
+   analogue of the fault-injection campaign (faultinject.ml).
+
+   Budget axis — for each Poisson V-cycle config the campaign measures
+   the unconstrained footprint (the naive plan's modelled peak, the
+   storage the system needs with no optimization) and re-solves under
+   budgets of 100/75/50/25% of it, asserting for every solve:
+     - it converges to the naive-plan answer (max |diff| <= 1e-8),
+     - the executed rung's modelled footprint and the pool's measured
+       high-water mark stay under the budget,
+     - every ladder demotion appears in both the degradation report and
+       the govern.* telemetry counters.
+   A budget one byte under the requested variant's footprint must force
+   a reported demotion; a budget under the ladder floor must come back
+   as a typed infeasible result, never an abort.
+
+   Deadline axis — a generous per-stage deadline must pass untripped; a
+   hopeless one under guarded execution must trip, quarantine the
+   primary and still converge through the (deadline-free) fallback; and
+   a one-shot transient crash with primary_retries=1 must recover by
+   retrying the primary, never touching the fallback.
+
+   Writes a polymg.pressure/1 JSON report with --out; --quick trims the
+   config list for CI smoke.  Runs in `dune runtest` (test/dune). *)
+
+open Repro_mg
+open Repro_core
+module Grid = Repro_grid.Grid
+module Buf = Repro_grid.Buf
+module Telemetry = Repro_runtime.Telemetry
+module Json = Repro_runtime.Json
+
+let tol = 1e-8
+
+let max_abs_diff (a : Grid.t) (b : Grid.t) =
+  let ba = a.Grid.buf and bb = b.Grid.buf in
+  let m = ref 0.0 in
+  for i = 0 to Buf.len ba - 1 do
+    m := Float.max !m (Float.abs (Buf.get ba i -. Buf.get bb i))
+  done;
+  !m
+
+let failures = ref 0
+let cases : Json.t list ref = ref []
+
+let record ~name ~pass ~(detail : (string * Json.t) list) =
+  if not pass then incr failures;
+  Printf.printf "  %-34s %s\n%!" name (if pass then "PASS" else "FAIL");
+  cases :=
+    Json.Obj
+      (("name", Json.Str name)
+       :: ("pass", Json.Bool pass)
+       :: detail)
+    :: !cases
+
+(* -- budget axis --------------------------------------------------------- *)
+
+let governed_case ~name ~cfg ~n ~problem ~cycles ~budget ~naive_v
+    ~expect_demotions =
+  let opts =
+    { Options.opt_plus with
+      Options.mem_budget = Some budget;
+      check_plan = true }
+  in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  match Solver.solve_governed cfg ~n ~opts ~cycles ~problem () with
+  | exception e ->
+    Telemetry.set_enabled false;
+    record ~name ~pass:false
+      ~detail:[ ("error", Json.Str (Printexc.to_string e)) ]
+  | Error inf ->
+    Telemetry.set_enabled false;
+    record ~name ~pass:false
+      ~detail:
+        [ ("error", Json.Str "unexpectedly infeasible");
+          ("floor_bytes", Json.num inf.Govern.floor_bytes) ]
+  | Ok g ->
+    Telemetry.set_enabled false;
+    let r = g.Solver.g_result in
+    let diff = max_abs_diff r.Solver.v naive_v in
+    let high_water =
+      Telemetry.value (Telemetry.counter "govern.pool_high_water_bytes")
+    in
+    let reported = List.length g.Solver.g_report.Govern.demotions in
+    let counted = Telemetry.value (Telemetry.counter "govern.demotions") in
+    let executed = g.Solver.g_executed in
+    let converged = diff <= tol in
+    let model_ok = executed.Govern.peak_bytes <= budget in
+    let water_ok = high_water <= budget in
+    let demotions_consistent = reported = counted in
+    let demotions_ok = (not expect_demotions) || reported >= 1 in
+    let pass =
+      converged && model_ok && water_ok && demotions_consistent
+      && demotions_ok
+    in
+    record ~name ~pass
+      ~detail:
+        [ ("budget", Json.num budget);
+          ("executed_rung", Json.Str executed.Govern.rname);
+          ("executed_peak_bytes", Json.num executed.Govern.peak_bytes);
+          ("pool_high_water", Json.num high_water);
+          ("max_abs_diff", Json.Num diff);
+          ("demotions_reported", Json.num reported);
+          ("demotions_counted", Json.num counted);
+          ("runtime_demotions", Json.num g.Solver.g_runtime_demotions);
+          ("report", Govern.report_json g.Solver.g_report) ]
+
+let budget_axis ~quick =
+  let configs =
+    [ ("2D-n64-L3", 2, 64, 3); ("3D-n32-L3", 3, 32, 3) ]
+    @ (if quick then [] else [ ("2D-n128-L4", 2, 128, 4) ])
+  in
+  let cycles = if quick then 3 else 4 in
+  List.iter
+    (fun (cname, dims, n, levels) ->
+      let cfg =
+        { (Cycle.default ~dims ~shape:Cycle.V ~smoothing:(4, 4, 4)) with
+          Cycle.levels }
+      in
+      let problem = Problem.poisson ~dims ~n in
+      let pipeline = Cycle.build cfg in
+      let params = Cycle.params cfg ~n in
+      (* naive reference answer, same problem and cycle count *)
+      let naive_v =
+        Exec.with_runtime (fun rt ->
+            let stepper =
+              Solver.polymg_stepper cfg ~n ~opts:Options.naive ~rt
+            in
+            (Solver.iterate stepper ~problem ~cycles ()).Solver.v)
+      in
+      (* modelled footprints, probed with telemetry off so the probe's
+         own decide calls leave the govern.* counters untouched *)
+      let probe opts =
+        match Govern.decide pipeline ~opts ~n ~params with
+        | Ok r -> r.Govern.ladder
+        | Error i -> i.Govern.inf_ladder
+      in
+      let unconstrained =
+        (probe Options.naive).(0).Govern.peak_bytes
+      in
+      let opt_ladder = probe Options.opt_plus in
+      let requested_peak = opt_ladder.(0).Govern.peak_bytes in
+      let floor =
+        Array.fold_left
+          (fun m (r : Govern.rung) -> min m r.Govern.peak_bytes)
+          max_int opt_ladder
+      in
+      Printf.printf
+        "config %s: unconstrained(naive) %d B, opt+ %d B, floor %d B\n%!"
+        cname unconstrained requested_peak floor;
+      List.iter
+        (fun pct ->
+          governed_case
+            ~name:(Printf.sprintf "%s@%d%%" cname pct)
+            ~cfg ~n ~problem ~cycles
+            ~budget:(unconstrained * pct / 100)
+            ~naive_v ~expect_demotions:false)
+        [ 100; 75; 50; 25 ];
+      (* one byte under the requested rung: must demote, must still
+         converge to the naive answer *)
+      governed_case
+        ~name:(cname ^ "@forced-demotion")
+        ~cfg ~n ~problem ~cycles ~budget:(requested_peak - 1) ~naive_v
+        ~expect_demotions:true;
+      (* under the floor: typed infeasible, never an abort *)
+      let name = cname ^ "@infeasible" in
+      let opts =
+        { Options.opt_plus with
+          Options.mem_budget = Some (floor - 1);
+          check_plan = true }
+      in
+      Telemetry.reset ();
+      Telemetry.set_enabled true;
+      (match Solver.solve_governed cfg ~n ~opts ~cycles ~problem () with
+       | exception e ->
+         Telemetry.set_enabled false;
+         record ~name ~pass:false
+           ~detail:[ ("error", Json.Str (Printexc.to_string e)) ]
+       | Ok g ->
+         Telemetry.set_enabled false;
+         record ~name ~pass:false
+           ~detail:
+             [ ("error", Json.Str "expected infeasible, got a solve");
+               ("executed_rung",
+                Json.Str g.Solver.g_executed.Govern.rname) ]
+       | Error inf ->
+         Telemetry.set_enabled false;
+         let counted =
+           Telemetry.value (Telemetry.counter "govern.infeasible")
+         in
+         let pass =
+           inf.Govern.inf_budget = floor - 1
+           && inf.Govern.floor_bytes = floor
+           && counted >= 1
+         in
+         record ~name ~pass
+           ~detail:
+             [ ("budget", Json.num (floor - 1));
+               ("floor_bytes", Json.num inf.Govern.floor_bytes);
+               ("floor_rung", Json.Str inf.Govern.floor_rung);
+               ("infeasible_counted", Json.num counted) ]))
+    configs
+
+(* -- deadline axis ------------------------------------------------------- *)
+
+let deadline_axis () =
+  let dims = 2 and n = 64 in
+  let cfg = Cycle.default ~dims ~shape:Cycle.V ~smoothing:(4, 4, 4) in
+  let problem = Problem.poisson ~dims ~n in
+  let trips () =
+    Telemetry.value (Telemetry.counter "govern.deadline_trips")
+  in
+  (* generous deadline: must pass untripped *)
+  let opts =
+    { Options.opt_plus with Options.deadline = Some 5.0; check_plan = true }
+  in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  (match Solver.solve_governed cfg ~n ~opts ~cycles:3 ~problem () with
+   | exception e ->
+     Telemetry.set_enabled false;
+     record ~name:"deadline-generous" ~pass:false
+       ~detail:[ ("error", Json.Str (Printexc.to_string e)) ]
+   | Error _ ->
+     Telemetry.set_enabled false;
+     record ~name:"deadline-generous" ~pass:false
+       ~detail:[ ("error", Json.Str "unexpectedly infeasible") ]
+   | Ok _ ->
+     Telemetry.set_enabled false;
+     let t = trips () in
+     record ~name:"deadline-generous" ~pass:(t = 0)
+       ~detail:[ ("deadline_trips", Json.num t) ]);
+  (* hopeless deadline under guard: trips, quarantines the primary, and
+     still converges through the deadline-free naive fallback *)
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let r =
+    Guard.solve cfg ~n
+      ~opts:
+        { Options.opt_plus with
+          Options.deadline = Some 1e-7;
+          check_plan = true }
+      ~policy:
+        { Guard.default_policy with
+          Guard.tol = Some 1e-8;
+          Guard.max_cycles = 60 }
+      ~problem ()
+  in
+  Telemetry.set_enabled false;
+  let t = trips () in
+  let quarantined =
+    List.exists
+      (fun (e : Guard.event) ->
+        e.Guard.action = Guard.Quarantined_primary)
+      r.Guard.events
+  in
+  record ~name:"deadline-hopeless-guarded"
+    ~pass:(r.Guard.outcome = Guard.Converged && t >= 1 && quarantined)
+    ~detail:
+      [ ("outcome", Json.Str (Guard.outcome_name r.Guard.outcome));
+        ("deadline_trips", Json.num t);
+        ("quarantined", Json.Bool quarantined);
+        ("fallback_cycles", Json.num r.Guard.fallback_cycles) ];
+  (* transient crash + bounded retry: one Primary_retry event, no
+     fallback cycles, converged *)
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let r =
+    Exec.with_runtime (fun rt ->
+        let inner =
+          Solver.polymg_stepper cfg ~n
+            ~opts:{ Options.opt_plus with Options.check_plan = true }
+            ~rt
+        in
+        let armed = ref true in
+        let primary ~v ~f ~out =
+          if !armed then begin
+            armed := false;
+            failwith "pressure: transient glitch"
+          end;
+          inner ~v ~f ~out
+        in
+        let fallback () =
+          Solver.polymg_stepper cfg ~n ~opts:Options.naive ~rt
+        in
+        Guard.run
+          ~policy:
+            { Guard.default_policy with
+              Guard.tol = Some 1e-8;
+              Guard.max_cycles = 60;
+              Guard.primary_retries = 1;
+              Guard.retry_backoff = 1e-3 }
+          ~primary ~fallback ~problem ())
+  in
+  Telemetry.set_enabled false;
+  let retried =
+    List.exists
+      (fun (e : Guard.event) -> e.Guard.action = Guard.Primary_retry)
+      r.Guard.events
+  in
+  let counted = Telemetry.value (Telemetry.counter "govern.primary_retries") in
+  record ~name:"transient-crash-retry"
+    ~pass:
+      (r.Guard.outcome = Guard.Converged && retried && counted = 1
+       && r.Guard.fallback_cycles = 0)
+    ~detail:
+      [ ("outcome", Json.Str (Guard.outcome_name r.Guard.outcome));
+        ("retried", Json.Bool retried);
+        ("retries_counted", Json.num counted);
+        ("fallback_cycles", Json.num r.Guard.fallback_cycles) ]
+
+(* -- driver -------------------------------------------------------------- *)
+
+let () =
+  let quick = ref false and out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf "pressure: unknown argument %s (try --quick, --out FILE)\n" a;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Printf.printf "pressure campaign%s: budget ladder + deadlines, tol %g\n%!"
+    (if !quick then " (quick)" else "")
+    tol;
+  budget_axis ~quick:!quick;
+  deadline_axis ();
+  let doc =
+    Json.Obj
+      [ ("schema", Json.Str "polymg.pressure/1");
+        ("quick", Json.Bool !quick);
+        ("cases", Json.Arr (List.rev !cases));
+        ("failures", Json.num !failures) ]
+  in
+  (match !out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Json.to_channel oc doc;
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "pressure: wrote %s\n" path);
+  if !failures > 0 then begin
+    Printf.printf "pressure campaign: %d FAILURE(S)\n" !failures;
+    exit 1
+  end;
+  Printf.printf "pressure campaign: all %d cases passed\n"
+    (List.length !cases)

@@ -29,7 +29,7 @@ let print_status_summary stats =
     (count Solver.Stagnated)
 
 let run dims cycle smoothing levels n variant cycles domains verbose profile
-    trace metrics tol max_cycles guard no_fallback poison =
+    trace metrics tol max_cycles guard no_fallback poison mem_budget deadline =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -64,38 +64,36 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
       (1 lsl (levels - 1));
     exit 2
   end;
-  let problem = Problem.poisson ~dims ~n in
-  let guard_mode = guard || tol <> None in
-  Exec.with_runtime ~domains ~poison @@ fun rt ->
-  let plan_ref = ref None in
-  let stepper =
-    match variant with
-    | "handopt" -> Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())
-    | "handopt+pluto" ->
-      Handopt.stepper
-        (Handopt.create cfg ~n ~par:rt.Exec.par
-           ~smoothing:(Handopt.Pluto { sigma = 16 })
-           ())
-    | v -> (
-      match Options.variant_of_string v with
-      | Some opts ->
-        (* build once; the metrics report reuses the same plan so its
-           stage names match the executed spans *)
-        let plan = Solver.polymg_plan cfg ~n ~opts in
-        plan_ref := Some plan;
-        if verbose then Format.printf "%a@." Plan.summary plan;
-        Solver.plan_stepper plan ~rt
+  let mem_budget =
+    match mem_budget with
+    | None -> None
+    | Some s -> (
+      match Govern.bytes_of_string s with
+      | Some b -> Some b
       | None ->
         Printf.eprintf
-          "unknown variant %s (naive|opt|opt+|dtile-opt+|handopt|handopt+pluto)\n"
-          v;
+          "mem-budget: cannot parse %S (expected BYTES, optionally with a \
+           K/M/G suffix)\n"
+          s;
         exit 2)
   in
-  let fallback_opts =
-    match Options.variant_of_string variant with
-    | Some opts -> Guard.fallback_opts opts
-    | None -> Options.naive (* handopt variants fall back to the naive plan *)
+  (* Governance knobs ride on the options record, so every plan built
+     from them (including demoted ladder rungs) inherits them. *)
+  let polymg_opts =
+    Option.map
+      (fun o -> { o with Options.mem_budget; deadline })
+      (Options.variant_of_string variant)
   in
+  if (mem_budget <> None || deadline <> None) && polymg_opts = None then begin
+    Printf.eprintf
+      "--mem-budget/--deadline require a PolyMG variant \
+       (naive|opt|opt+|dtile-opt+), not %s\n"
+      variant;
+    exit 2
+  end;
+  let problem = Problem.poisson ~dims ~n in
+  let guard_mode = guard || tol <> None in
+  let governed_mode = mem_budget <> None && not guard_mode in
   Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d%s\n"
     (Cycle.bench_name cfg) n levels variant domains
     (if poison then "  poison=on" else "");
@@ -103,39 +101,127 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
     Telemetry.reset ();
     Telemetry.set_enabled true
   end;
+  let exit_code = ref 0 in
+  let plan_ref = ref None in
   let stats, v, total_seconds =
-    if guard_mode then begin
-      let policy =
-        { Guard.default_policy with
-          Guard.tol;
-          Guard.max_cycles = Option.value max_cycles ~default:cycles }
-      in
-      let fallback =
-        if no_fallback then None
-        else
-          Some (fun () -> Solver.polymg_stepper cfg ~n ~opts:fallback_opts ~rt)
-      in
-      let r = Guard.run ~policy ~primary:stepper ?fallback ~problem () in
-      Telemetry.set_enabled false;
-      print_stats r.Guard.stats;
-      List.iter
-        (fun (e : Guard.event) ->
-          Printf.printf "  guard: cycle %d: %s fault — %s\n" e.Guard.cycle
-            (Guard.fault_name e.Guard.fault)
-            (Guard.action_name e.Guard.action))
-        r.Guard.events;
-      Printf.printf "guard: %s  residual %.6e  (%d fallback cycle%s)\n"
-        (Guard.outcome_name r.Guard.outcome)
-        r.Guard.residual r.Guard.fallback_cycles
-        (if r.Guard.fallback_cycles = 1 then "" else "s");
-      (r.Guard.stats, r.Guard.v, r.Guard.total_seconds)
+    if governed_mode then begin
+      (* Budgeted solve: Govern picks the ladder rung, Mempool enforces
+         the budget, Budget_exceeded demotes instead of aborting. *)
+      let opts = Option.get polymg_opts in
+      match
+        Solver.solve_governed cfg ~n ~opts ~domains ~poison ~cycles ~problem
+          ()
+      with
+      | exception (Repro_runtime.Watchdog.Deadline_exceeded _ as e) ->
+        Telemetry.set_enabled false;
+        Printf.eprintf "deadline: %s\n" (Printexc.to_string e);
+        exit 4
+      | Error inf ->
+        Telemetry.set_enabled false;
+        Format.eprintf "govern: %a@." Govern.pp_infeasible inf;
+        exit 5
+      | Ok g ->
+        Telemetry.set_enabled false;
+        let executed = g.Solver.g_executed in
+        plan_ref := Some executed.Govern.plan;
+        Format.printf "govern: @[<v>%a@]@?" Govern.pp_report
+          g.Solver.g_report;
+        if g.Solver.g_runtime_demotions > 0 then
+          Printf.printf
+            "govern: %d runtime demotion(s); executed rung %s\n"
+            g.Solver.g_runtime_demotions executed.Govern.rname;
+        if verbose then Format.printf "%a@." Plan.summary executed.Govern.plan;
+        let r = g.Solver.g_result in
+        print_stats r.Solver.stats;
+        (r.Solver.stats, r.Solver.v, r.Solver.total_seconds)
     end
-    else begin
-      let r = Solver.iterate stepper ~problem ~cycles () in
-      Telemetry.set_enabled false;
-      print_stats r.Solver.stats;
-      (r.Solver.stats, r.Solver.v, r.Solver.total_seconds)
-    end
+    else
+      Exec.with_runtime ~domains ~poison @@ fun rt ->
+      (* budget under guard: the pool raises Budget_exceeded, the guard
+         sees a crash fault and retries on the unpooled naive fallback *)
+      (match polymg_opts with
+       | Some o when o.Options.pool && o.Options.mem_budget <> None ->
+         Repro_runtime.Mempool.set_budget rt.Exec.pool o.Options.mem_budget
+       | Some _ | None -> ());
+      let stepper =
+        match variant with
+        | "handopt" ->
+          Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())
+        | "handopt+pluto" ->
+          Handopt.stepper
+            (Handopt.create cfg ~n ~par:rt.Exec.par
+               ~smoothing:(Handopt.Pluto { sigma = 16 })
+               ())
+        | v -> (
+          match polymg_opts with
+          | Some opts ->
+            (* build once; the metrics report reuses the same plan so its
+               stage names match the executed spans *)
+            let plan = Solver.polymg_plan cfg ~n ~opts in
+            plan_ref := Some plan;
+            if verbose then Format.printf "%a@." Plan.summary plan;
+            Solver.plan_stepper plan ~rt
+          | None ->
+            Printf.eprintf
+              "unknown variant %s \
+               (naive|opt|opt+|dtile-opt+|handopt|handopt+pluto)\n"
+              v;
+            exit 2)
+      in
+      let fallback_opts =
+        match polymg_opts with
+        | Some opts -> Guard.fallback_opts opts
+        | None ->
+          Options.naive (* handopt variants fall back to the naive plan *)
+      in
+      if guard_mode then begin
+        let policy =
+          { Guard.default_policy with
+            Guard.tol;
+            Guard.max_cycles = Option.value max_cycles ~default:cycles }
+        in
+        let fallback =
+          if no_fallback then None
+          else
+            Some
+              (fun () -> Solver.polymg_stepper cfg ~n ~opts:fallback_opts ~rt)
+        in
+        let r = Guard.run ~policy ~primary:stepper ?fallback ~problem () in
+        Telemetry.set_enabled false;
+        print_stats r.Guard.stats;
+        List.iter
+          (fun (e : Guard.event) ->
+            Printf.printf "  guard: cycle %d: %s fault — %s\n" e.Guard.cycle
+              (Guard.fault_name e.Guard.fault)
+              (Guard.action_name e.Guard.action))
+          r.Guard.events;
+        Printf.printf "guard: %s  residual %.6e  (%d fallback cycle%s)\n"
+          (Guard.outcome_name r.Guard.outcome)
+          r.Guard.residual r.Guard.fallback_cycles
+          (if r.Guard.fallback_cycles = 1 then "" else "s");
+        (match r.Guard.outcome with
+         | Guard.Faulted _ -> exit_code := 4
+         | Guard.Converged | Guard.Exhausted | Guard.Stagnated ->
+           if
+             List.exists
+               (fun (e : Guard.event) ->
+                 e.Guard.action = Guard.Quarantined_primary)
+               r.Guard.events
+           then exit_code := 3);
+        (r.Guard.stats, r.Guard.v, r.Guard.total_seconds)
+      end
+      else begin
+        let r =
+          try Solver.iterate stepper ~problem ~cycles ()
+          with Repro_runtime.Watchdog.Deadline_exceeded _ as e ->
+            Telemetry.set_enabled false;
+            Printf.eprintf "deadline: %s\n" (Printexc.to_string e);
+            exit 4
+        in
+        Telemetry.set_enabled false;
+        print_stats r.Solver.stats;
+        (r.Solver.stats, r.Solver.v, r.Solver.total_seconds)
+      end
   in
   let err = Verify.error_l2 ~v ~exact:problem.Problem.exact in
   Printf.printf "total %.4fs; error vs continuous solution: %.6e\n"
@@ -160,27 +246,28 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
        Printf.eprintf "trace: cannot write %s\n" msg;
        exit 1)
    | None -> ());
-  match metrics with
-  | None -> ()
-  | Some path ->
-    let plan = !plan_ref in
-    let cost = Option.map Cost.of_plan plan in
-    let roofline = Repro_runtime.Roofline.get () in
-    Repro_runtime.Metrics.reset ();
-    Repro_runtime.Metrics.ingest_spans (Telemetry.spans ());
-    let doc =
-      Perf_report.build ~cfg ~n ~variant ~domains ~cost ~plan ~stats
-        ~total_seconds ~spans:(Telemetry.spans ())
-        ~counters:(Telemetry.counters ()) ~roofline
-    in
-    (try Perf_report.write ~path doc
-     with Sys_error msg ->
-       Printf.eprintf "metrics: cannot write %s\n" msg;
-       exit 1);
-    Printf.printf
-      "metrics: wrote %s (roofline %.1f GB/s, %.1f GFLOP/s)\n" path
-      roofline.Repro_runtime.Roofline.bandwidth_gbs
-      roofline.Repro_runtime.Roofline.gflops
+  (match metrics with
+   | None -> ()
+   | Some path ->
+     let plan = !plan_ref in
+     let cost = Option.map Cost.of_plan plan in
+     let roofline = Repro_runtime.Roofline.get () in
+     Repro_runtime.Metrics.reset ();
+     Repro_runtime.Metrics.ingest_spans (Telemetry.spans ());
+     let doc =
+       Perf_report.build ~cfg ~n ~variant ~domains ~cost ~plan ~stats
+         ~total_seconds ~spans:(Telemetry.spans ())
+         ~counters:(Telemetry.counters ()) ~roofline
+     in
+     (try Perf_report.write ~path doc
+      with Sys_error msg ->
+        Printf.eprintf "metrics: cannot write %s\n" msg;
+        exit 1);
+     Printf.printf
+       "metrics: wrote %s (roofline %.1f GB/s, %.1f GFLOP/s)\n" path
+       roofline.Repro_runtime.Roofline.bandwidth_gbs
+       roofline.Repro_runtime.Roofline.gflops);
+  !exit_code
 
 let dims_t =
   Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank (2 or 3).")
@@ -280,13 +367,53 @@ let poison_t =
           "Poison pooled buffers with signaling NaNs and canary guard \
            words (debug aid for storage bugs).")
 
+let mem_budget_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Byte budget for the runtime working footprint (suffixes K/M/G, \
+           binary).  Planning walks the degradation ladder (dtile-opt+ → \
+           opt+ → opt → naive order of aggressiveness) to the best rung \
+           whose modelled footprint fits, reports every demotion, and \
+           arms pool budget enforcement at run time.  Exits with 5 when \
+           no rung fits.")
+
+let deadline_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Soft per-stage (plan group) deadline.  A stage running past it \
+           is cancelled cooperatively at the next tile boundary; under \
+           --guard the trip is a recoverable fault (rollback + fallback \
+           retry), otherwise the solve stops with exit code 4.")
+
 let cmd =
   let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:
+        "guarded execution quarantined the primary plan; the solve \
+         finished on the fallback plan."
+    :: Cmd.Exit.info 4
+         ~doc:
+           "fault-stop: an unrecoverable fault (or a tripped --deadline \
+            outside guarded mode) stopped the solve."
+    :: Cmd.Exit.info 5
+         ~doc:
+           "memory budget infeasible: no degradation-ladder rung fits \
+            --mem-budget."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "mg_solve" ~doc)
+    (Cmd.info "mg_solve" ~doc ~exits)
     Term.(
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
       $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ metrics_t
-      $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t)
+      $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t
+      $ mem_budget_t $ deadline_t)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

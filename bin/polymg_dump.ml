@@ -119,7 +119,7 @@ let explain_measured cfg ~opts ~n =
      else Printf.sprintf "%.0f%%" (100.0 *. float_of_int (v "mempool.hit") /. float_of_int acq));
   Telemetry.reset ()
 
-let run dims cycle smoothing levels n variant what =
+let run dims cycle smoothing levels n variant what mem_budget domains =
   let shape =
     match String.uppercase_ascii cycle with
     | "V" -> Cycle.V
@@ -161,6 +161,27 @@ let run dims cycle smoothing levels n variant what =
       (Cycle.bench_name cfg) n (Options.name opts);
     explain_predicted pipeline cfg ~opts ~n plan;
     explain_measured cfg ~opts ~n
+  | "budget" -> (
+    let mem_budget =
+      match mem_budget with
+      | None -> None
+      | Some s -> (
+        match Govern.bytes_of_string s with
+        | Some b -> Some b
+        | None ->
+          Printf.eprintf "mem-budget: cannot parse %S\n" s;
+          exit 2)
+    in
+    let opts = { opts with Options.mem_budget } in
+    Printf.printf "== budget ladder: %s  n=%d  variant=%s  domains=%d ==\n"
+      (Cycle.bench_name cfg) n (Options.name opts) domains;
+    match
+      Govern.decide ~domains pipeline ~opts ~n ~params:(Cycle.params cfg ~n)
+    with
+    | Ok report -> Format.printf "@[<v>%a@]@." Govern.pp_report report
+    | Error inf ->
+      Format.printf "%a@." Govern.pp_infeasible inf;
+      exit 5)
   | "check" -> (
     let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
     match Plan_check.check plan with
@@ -175,7 +196,7 @@ let run dims cycle smoothing levels n variant what =
         (if List.length issues = 1 then "" else "s");
       exit 1)
   | _ ->
-    prerr_endline "what must be dag, groups, c, cost, explain or check";
+    prerr_endline "what must be dag, groups, c, cost, explain, check or budget";
     exit 2
 
 let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
@@ -195,8 +216,26 @@ let what_t =
     value & opt string "groups"
     & info [ "what" ]
         ~doc:"What to print: dag, groups, c, cost (the analytical \
-              per-stage bytes/FLOPs model), explain, or check (run the \
-              Plan_check storage-safety pass and report violations).")
+              per-stage bytes/FLOPs model), explain, check (run the \
+              Plan_check storage-safety pass and report violations), or \
+              budget (the resource-governance degradation ladder: every \
+              rung's modelled footprint and cost, the chosen rung under \
+              --mem-budget, and each demotion's cost delta).")
+
+let mem_budget_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Byte budget for --what budget (suffixes K/M/G, binary); \
+           without it the ladder is modelled but nothing is demoted.")
+
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:"Worker domains assumed by the footprint model's scratch term.")
 
 let cmd =
   let doc = "inspect PolyMG pipelines, groupings and generated code" in
@@ -204,6 +243,6 @@ let cmd =
     (Cmd.info "polymg_dump" ~doc)
     Term.(
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
-      $ what_t)
+      $ what_t $ mem_budget_t $ domains_t)
 
 let () = exit (Cmd.eval cmd)

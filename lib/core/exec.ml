@@ -5,6 +5,7 @@ module Grid = Repro_grid.Grid
 module Parallel = Repro_runtime.Parallel
 module Mempool = Repro_runtime.Mempool
 module Telemetry = Repro_runtime.Telemetry
+module Watchdog = Repro_runtime.Watchdog
 
 let c_tiles = Telemetry.counter "exec.tiles"
 let c_points = Telemetry.counter "exec.points_computed"
@@ -153,6 +154,9 @@ let source_of_binding ctx ~(member : Plan.member)
 (* Tiled group execution                                                *)
 
 let run_tile ctx (tg : Plan.tiled_group) scratch tile =
+  (* cooperative cancellation point: a tripped stage deadline aborts
+     here, before the tile's kernels run, never mid-kernel *)
+  Watchdog.check ();
   let req = Regions.demand tg.Plan.geom ~tile in
   let nm = Array.length tg.Plan.members in
   Telemetry.add c_tiles 1;
@@ -280,6 +284,7 @@ let run_diamond ctx (dg : Plan.diamond_group) =
       let t_front = Telemetry.begin_span () in
       Parallel.parallel_for ctx.rt.par ~lo:0 ~hi:(Array.length front - 1)
         (fun fi ->
+          Watchdog.check ();
           iter_rows front.(fi) (fun ~t ~xlo ~xhi ->
               let step = t - 1 in
               let m = dg.Plan.steps.(step) in
@@ -430,9 +435,18 @@ let run plan rt ~inputs ~outputs =
             ~interior:(Box.of_sizes m.Plan.sizes)
             boundary)
         (liveouts_of_group group);
-      (match group with
-       | Plan.G_tiled tg -> run_tiled ctx tg
-       | Plan.G_diamond dg -> run_diamond ctx dg);
+      let exec_group () =
+        match group with
+        | Plan.G_tiled tg -> run_tiled ctx tg
+        | Plan.G_diamond dg -> run_diamond ctx dg
+      in
+      (match opts.Options.deadline with
+       | Some s ->
+         Watchdog.with_deadline
+           ~stage:(Printf.sprintf "group%d" gi)
+           ~budget_ns:(max 1 (int_of_float (s *. 1e9)))
+           exec_group
+       | None -> exec_group ());
       (* release arrays after their last consuming group *)
       if opts.Options.pool then
         Array.iteri

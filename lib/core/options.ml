@@ -17,6 +17,8 @@ type t = {
   smoother : smoother_path;
   walk_kernels : bool;
   check_plan : bool;
+  mem_budget : int option;
+  deadline : float option;
 }
 
 let naive =
@@ -32,7 +34,9 @@ let naive =
     pool = false;
     smoother = Overlapped_smoother;
     walk_kernels = true;
-    check_plan = false }
+    check_plan = false;
+    mem_budget = None;
+    deadline = None }
 
 let opt =
   { naive with fuse = true; group_size_limit = 6 }
@@ -77,10 +81,19 @@ let pp fmt t =
     | Skewed_smoother { tau; sigma } ->
       Printf.sprintf "skewed(tau=%d,sigma=%d)" tau sigma
   in
+  let govern =
+    (match t.mem_budget with
+     | Some b -> Printf.sprintf " mem_budget=%dB" b
+     | None -> "")
+    ^
+    match t.deadline with
+    | Some d -> Printf.sprintf " deadline=%gs" d
+    | None -> ""
+  in
   Format.fprintf fmt
     "{%s fuse=%b tiles2d=%s tiles3d=%s limit=%d scratch_reuse=%b \
-     array_reuse=%b pool=%b smoother=%s}"
+     array_reuse=%b pool=%b smoother=%s%s}"
     (name t) t.fuse
     (String.concat "x" (Array.to_list (Array.map string_of_int t.tile_2d)))
     (String.concat "x" (Array.to_list (Array.map string_of_int t.tile_3d)))
-    t.group_size_limit t.scratch_reuse t.array_reuse t.pool smoother
+    t.group_size_limit t.scratch_reuse t.array_reuse t.pool smoother govern

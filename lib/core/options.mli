@@ -39,6 +39,22 @@ type t = {
       (** run the {!Plan_check} storage-safety/halo validation pass over
           every plan built through {!Plan_check.build} (the solver path).
           Off in the presets; tests and guarded runs turn it on. *)
+  mem_budget : int option;
+      (** resource governance: byte budget for the runtime working
+          footprint (pooled full arrays, diamond modulo buffers, and
+          per-domain scratchpads).  [None] (the presets) plans
+          unconstrained; [Some b] makes {!Govern.decide} walk the
+          variant ladder down to the most aggressive rung whose modelled
+          footprint fits, and arms {!Repro_runtime.Mempool} budget
+          enforcement at execution time. *)
+  deadline : float option;
+      (** resource governance: soft per-group (per fused stage) deadline
+          in seconds.  [None] runs unbounded; [Some s] arms the
+          {!Repro_runtime.Watchdog} around every group execution, with
+          cooperative cancellation checked at tile boundaries — a hung
+          or pathologically slow stage raises
+          {!Repro_runtime.Watchdog.Deadline_exceeded} instead of
+          blocking the solve forever. *)
 }
 
 val naive : t

@@ -10,6 +10,8 @@ type policy = {
   stagnation_eps : float;
   stagnation_window : int;
   max_primary_faults : int;
+  primary_retries : int;
+  retry_backoff : float;
 }
 
 let default_policy =
@@ -18,7 +20,9 @@ let default_policy =
     divergence_factor = 1e3;
     stagnation_eps = 1e-3;
     stagnation_window = 3;
-    max_primary_faults = 2 }
+    max_primary_faults = 2;
+    primary_retries = 0;
+    retry_backoff = 0.0 }
 
 type fault = Fault_nan | Fault_diverged | Fault_crash of string
 
@@ -28,11 +32,13 @@ let fault_name = function
   | Fault_crash _ -> "crash"
 
 type action =
+  | Primary_retry
   | Fallback_retry
   | Quarantined_primary
   | Gave_up
 
 let action_name = function
+  | Primary_retry -> "retried on primary plan after backoff"
   | Fallback_retry -> "retried on fallback plan"
   | Quarantined_primary -> "primary plan quarantined, staying on fallback"
   | Gave_up -> "gave up"
@@ -70,6 +76,7 @@ let c_switch = Telemetry.counter "guard.fallback_switches"
 let c_fb_cycles = Telemetry.counter "guard.fallback_cycles"
 let c_early = Telemetry.counter "guard.early_stops"
 let c_stag_stop = Telemetry.counter "guard.stagnation_stops"
+let c_retries = Telemetry.counter "govern.primary_retries"
 
 let count_fault = function
   | Fault_nan -> Telemetry.add c_nan 1
@@ -80,6 +87,10 @@ let run ?(policy = default_policy) ~primary ?fallback
     ~(problem : Problem.t) () =
   if policy.max_cycles < 1 then
     invalid_arg "Guard.run: max_cycles must be >= 1";
+  if policy.primary_retries < 0 then
+    invalid_arg "Guard.run: primary_retries must be >= 0";
+  if policy.retry_backoff < 0.0 then
+    invalid_arg "Guard.run: retry_backoff must be >= 0";
   let cur = ref (Grid.copy problem.Problem.v) in
   let next = ref (Grid.create (Grid.extents problem.Problem.v)) in
   (* Checkpoint of the last-good iterate.  [cur] is only advanced on an
@@ -107,6 +118,7 @@ let run ?(policy = default_policy) ~primary ?fallback
   let quarantined = ref false in
   let retry_on_fallback = ref false in
   let primary_faults = ref 0 in
+  let retries_this_cycle = ref 0 in
   let fallback_cycles = ref 0 in
   let stagnant = ref 0 in
   let cycle = ref 1 in
@@ -181,6 +193,7 @@ let run ?(policy = default_policy) ~primary ?fallback
               Telemetry.add c_fb_cycles 1
             end;
             retry_on_fallback := false;
+            retries_this_cycle := 0;
             if converged r then begin
               Telemetry.add c_early 1;
               outcome := Some Converged
@@ -203,7 +216,22 @@ let run ?(policy = default_policy) ~primary ?fallback
       Grid.blit ~src:good ~dst:!cur;
       Telemetry.add c_rollbacks 1;
       let action =
-        if on_fallback || get_fallback () = None then begin
+        if (not on_fallback) && !retries_this_cycle < policy.primary_retries
+        then begin
+          (* bounded same-plan retry with exponential backoff: transient
+             faults (a tripped deadline under momentary load, an injected
+             glitch) get another shot at the primary before it costs a
+             fallback switch.  Retried faults do not count toward the
+             quarantine threshold. *)
+          incr retries_this_cycle;
+          Telemetry.add c_retries 1;
+          if policy.retry_backoff > 0.0 then
+            Unix.sleepf
+              (policy.retry_backoff
+              *. (2.0 ** float_of_int (!retries_this_cycle - 1)));
+          Primary_retry
+        end
+        else if on_fallback || get_fallback () = None then begin
           (* fault on the fallback plan (or nothing to fall back to):
              the fault is inherent to the problem, not the optimizer *)
           outcome := Some (Faulted f);
@@ -241,6 +269,13 @@ let solve cfg ~n ~opts ?(domains = 1) ?(poison = false) ?policy
         | Some p -> p
         | None -> Problem.poisson ~dims:cfg.Cycle.dims ~n
       in
+      (* Budget enforcement under guard: a pool overrun surfaces as a
+         Fault_crash, so the guard rolls back and retries the cycle on
+         the (unpooled) naive fallback instead of aborting. *)
+      (match opts.Options.mem_budget with
+       | Some b when opts.Options.pool ->
+         Repro_runtime.Mempool.set_budget rt.Exec.pool (Some b)
+       | Some _ | None -> ());
       let primary = Solver.polymg_stepper cfg ~n ~opts ~rt in
       let fb =
         if fallback then

@@ -30,6 +30,17 @@ type policy = {
   max_primary_faults : int;
       (** quarantine the primary stepper after this many faults
           (default 2); until then each fault costs one fallback retry *)
+  primary_retries : int;
+      (** bounded retry: re-run a faulted cycle on the {e primary} plan
+          up to this many times before switching to the fallback
+          (default 0 — first fault goes straight to the fallback).
+          Retried faults do not count toward [max_primary_faults]; the
+          retry budget resets on every accepted cycle.  Retries are
+          counted in the [govern.primary_retries] telemetry counter. *)
+  retry_backoff : float;
+      (** base of the exponential backoff slept before each primary
+          retry: retry [k] waits [retry_backoff × 2{^k-1}] seconds
+          (default 0 — no sleep). *)
 }
 
 val default_policy : policy
@@ -43,6 +54,9 @@ type fault =
 val fault_name : fault -> string
 
 type action =
+  | Primary_retry
+      (** rolled back; cycle re-run on the {e primary} plan after the
+          policy's exponential backoff ([policy.primary_retries]) *)
   | Fallback_retry  (** rolled back; cycle re-run on the fallback plan *)
   | Quarantined_primary
       (** rolled back; primary disabled for the rest of the solve *)

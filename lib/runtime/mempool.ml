@@ -8,6 +8,20 @@ type stats = {
   peak_live_bytes : int;
 }
 
+exception
+  Budget_exceeded of { requested_bytes : int; budget_bytes : int;
+                       pool_bytes : int }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { requested_bytes; budget_bytes; pool_bytes } ->
+      Some
+        (Printf.sprintf
+           "Mempool.Budget_exceeded(requested %d B with %d B pooled, \
+            budget %d B)"
+           requested_bytes pool_bytes budget_bytes)
+    | _ -> None)
+
 (* Global telemetry counters (shared by all pools; in practice one pool
    per runtime).  Updates are no-ops while telemetry is disabled. *)
 let c_acquire = Telemetry.counter "mempool.acquire"
@@ -16,6 +30,15 @@ let c_hit = Telemetry.counter "mempool.hit"
 let c_miss = Telemetry.counter "mempool.miss"
 let c_peak = Telemetry.counter "mempool.peak_live_bytes"
 let c_guard_trips = Telemetry.counter "mempool.guard_trips"
+
+(* Resource-governance series: budget overruns, free-list trims made to
+   stay under budget, and the cross-pool high-water gauge the pressure
+   campaign asserts against. *)
+let c_budget_exceeded = Telemetry.counter "govern.budget_exceeded"
+let c_trims = Telemetry.counter "govern.pool_trims"
+let c_high_water = Telemetry.counter "govern.pool_high_water_bytes"
+let g_high_water = Metrics.gauge "govern_pool_high_water_bytes"
+let g_budget = Metrics.gauge "govern_pool_budget_bytes"
 
 (* Poison mode constants: a signaling-NaN payload so any arithmetic on a
    stale or uninitialized read yields a NaN the solver-level guard can
@@ -35,6 +58,7 @@ type entry = {
 
 type t = {
   poison : bool;
+  mutable budget : int option;  (* byte ceiling on [pool_bytes] *)
   mutable entries : entry list;
   mutable fresh_allocs : int;
   mutable reuse_hits : int;
@@ -43,8 +67,12 @@ type t = {
   mutable peak_live_bytes : int;
 }
 
-let create ?(poison = false) () =
+let create ?(poison = false) ?budget () =
+  (match budget with
+   | Some b when b <= 0 -> invalid_arg "Mempool.create: budget must be positive"
+   | Some _ | None -> ());
   { poison;
+    budget;
     entries = [];
     fresh_allocs = 0;
     reuse_hits = 0;
@@ -54,10 +82,22 @@ let create ?(poison = false) () =
 
 let poisoned t = t.poison
 
+let set_budget t budget =
+  (match budget with
+   | Some b when b <= 0 ->
+     invalid_arg "Mempool.set_budget: budget must be positive"
+   | Some b -> Metrics.set_gauge g_budget (float_of_int b)
+   | None -> ());
+  t.budget <- budget
+
+let budget t = t.budget
+
 let note_live t delta =
   t.live_bytes <- t.live_bytes + delta;
   if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes;
-  Telemetry.max_to c_peak t.peak_live_bytes
+  Telemetry.max_to c_peak t.peak_live_bytes;
+  Telemetry.max_to c_high_water t.peak_live_bytes;
+  Metrics.set_gauge g_high_water (float_of_int t.peak_live_bytes)
 
 (* Best fit: smallest free buffer that is large enough. *)
 let find_fit t need =
@@ -87,6 +127,30 @@ let arm t e len =
   note_live t (Buf.bytes e.raw);
   e.view
 
+(* Budget enforcement: a fresh allocation that would push [pool_bytes]
+   past the budget first trims free (released) buffers — largest first,
+   so the fewest entries are sacrificed — and only if the pool still
+   cannot make room raises the typed {!Budget_exceeded}.  Reuse never
+   grows the pool, so it is always allowed; thus [pool_bytes] (and with
+   it [live_bytes] and the high-water mark) never exceeds the budget. *)
+let trim_for t need_bytes budget =
+  let frees =
+    List.filter (fun e -> e.free) t.entries
+    |> List.sort (fun a b -> compare (Buf.len b.raw) (Buf.len a.raw))
+  in
+  let rec drop dropped = function
+    | _ when t.pool_bytes + need_bytes <= budget -> dropped
+    | [] -> dropped
+    | e :: rest ->
+      t.pool_bytes <- t.pool_bytes - Buf.bytes e.raw;
+      Telemetry.add c_trims 1;
+      drop (e :: dropped) rest
+  in
+  let dropped = drop [] frees in
+  if dropped <> [] then
+    t.entries <-
+      List.filter (fun e -> not (List.memq e dropped)) t.entries
+
 let acquire t len =
   if len < 0 then invalid_arg "Mempool.acquire: negative length";
   Telemetry.add c_acquire 1;
@@ -97,6 +161,19 @@ let acquire t len =
     Telemetry.add c_hit 1;
     arm t e len
   | None ->
+    let need_bytes = 8 * need in
+    (match t.budget with
+     | Some b when t.pool_bytes + need_bytes > b ->
+       trim_for t need_bytes b;
+       if t.pool_bytes + need_bytes > b then begin
+         Telemetry.add c_budget_exceeded 1;
+         raise
+           (Budget_exceeded
+              { requested_bytes = need_bytes;
+                budget_bytes = b;
+                pool_bytes = t.pool_bytes })
+       end
+     | Some _ | None -> ());
     let raw = Buf.create_uninit need in
     let e = { raw; free = false; view = raw; acquires = 0 } in
     t.entries <- e :: t.entries;
@@ -157,8 +234,8 @@ let clear t =
   t.pool_bytes <- 0;
   t.peak_live_bytes <- 0
 
-let with_pool ?poison f =
-  let t = create ?poison () in
+let with_pool ?poison ?budget f =
+  let t = create ?poison ?budget () in
   Fun.protect ~finally:(fun () -> clear t) (fun () -> f t)
 
 let with_buf t len f =

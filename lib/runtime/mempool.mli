@@ -27,10 +27,37 @@ type stats = {
   peak_live_bytes : int;
 }
 
-val create : ?poison:bool -> unit -> t
-(** [poison] (default false) enables poison/canary mode. *)
+exception
+  Budget_exceeded of {
+    requested_bytes : int;  (** size of the refused fresh allocation *)
+    budget_bytes : int;
+    pool_bytes : int;  (** bytes the pool already owned *)
+  }
+(** Raised by {!acquire} when a fresh allocation would push the pool past
+    its byte budget even after trimming every free buffer.  The pool is
+    left in a consistent state (nothing was allocated), so the caller can
+    recover — {!Repro_mg.Solver} responds by re-planning one rung down
+    the degradation ladder instead of aborting the solve. *)
+
+val create : ?poison:bool -> ?budget:int -> unit -> t
+(** [poison] (default false) enables poison/canary mode.  [budget] caps
+    the bytes the pool may own (see {!set_budget}). *)
 
 val poisoned : t -> bool
+
+val set_budget : t -> int option -> unit
+(** Installs (or with [None] removes) a hard byte ceiling on
+    [pool_bytes].  Once set, {!acquire} keeps the pool under the budget:
+    reuse from the free list is always allowed, a fresh allocation first
+    trims free buffers to make room, and an allocation that still cannot
+    fit raises {!Budget_exceeded} — it never aborts the process, and the
+    high-water mark provably stays at or under the budget.  Overruns and
+    trims are counted in the [govern.budget_exceeded] / [govern.pool_trims]
+    telemetry counters; the high-water mark and budget are exported as
+    [govern_pool_high_water_bytes] / [govern_pool_budget_bytes] gauges.
+    @raise Invalid_argument for a non-positive budget. *)
+
+val budget : t -> int option
 
 val guard_elems : int
 (** Guard words reserved past every window in poison mode. *)
@@ -41,7 +68,8 @@ val snan : float
 val acquire : t -> int -> Repro_grid.Buf.t
 (** [acquire t len] returns a buffer with at least [len] elements.
     Contents are unspecified (reused buffers are dirty); in poison mode
-    the buffer has exactly [len] elements, every one a signaling NaN. *)
+    the buffer has exactly [len] elements, every one a signaling NaN.
+    @raise Budget_exceeded when a budget is set and cannot be met. *)
 
 val release : t -> Repro_grid.Buf.t -> unit
 (** Returns a buffer to the pool.
@@ -49,7 +77,7 @@ val release : t -> Repro_grid.Buf.t -> unit
     (double releases name the buffer size and its acquire count), or if
     poison-mode guard words were clobbered by an out-of-bounds write. *)
 
-val with_pool : ?poison:bool -> (t -> 'a) -> 'a
+val with_pool : ?poison:bool -> ?budget:int -> (t -> 'a) -> 'a
 (** Scoped pool: created for [f] and cleared on exit, even on raise. *)
 
 val with_buf : t -> int -> (Repro_grid.Buf.t -> 'a) -> 'a

@@ -113,8 +113,9 @@ let pipelines_arb =
 let build_plan (p, _in_id, _out_id) ~opts ~n =
   Plan.build p ~opts ~n ~params:(fun s -> invalid_arg s)
 
-let run_pipeline (p, in_id, out_id) ~opts ~n =
-  let plan = build_plan (p, in_id, out_id) ~opts ~n in
+(* Executes an already-built plan for the generated pipeline — the
+   governance suite uses this to run individual ladder rungs. *)
+let run_plan (p, in_id, out_id) plan ~n =
   let f = Pipeline.func p out_id in
   let out_n = Sizeexpr.eval ~n f.Func.sizes.(0) in
   let input = Grid.interior ~dims:2 (n - 1) in
@@ -124,3 +125,5 @@ let run_pipeline (p, in_id, out_id) ~opts ~n =
   Exec.with_runtime (fun rt ->
       Exec.run plan rt ~inputs:[ (in_id, input) ] ~outputs:[ (out_id, out) ]);
   out
+
+let run_pipeline t ~opts ~n = run_plan t (build_plan t ~opts ~n) ~n
