@@ -29,7 +29,8 @@ let print_status_summary stats =
     (count Solver.Stagnated)
 
 let run dims cycle smoothing levels n variant cycles domains verbose profile
-    trace metrics tol max_cycles guard no_fallback poison mem_budget deadline =
+    trace metrics tol max_cycles guard no_fallback poison mem_budget deadline
+    conform =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -63,6 +64,15 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
     Printf.eprintf "N=%d must be divisible by 2^(levels-1)=%d\n" n
       (1 lsl (levels - 1));
     exit 2
+  end;
+  if conform then begin
+    (* differential oracle on the selected cycle: every plan variant and
+       the hand-optimized baselines in lockstep against the naive plan *)
+    Printf.printf "%s  N=%d  conformance oracle (%d cycles)\n"
+      (Cycle.bench_name cfg) n cycles;
+    let case = Conformance.oracle_case cfg ~n ~cycles () in
+    Format.printf "%a@." Conformance.pp_case case;
+    exit (if Conformance.case_pass case then 0 else 1)
   end;
   let mem_budget =
     match mem_budget with
@@ -391,6 +401,16 @@ let deadline_t =
            --guard the trip is a recoverable fault (rollback + fallback \
            retry), otherwise the solve stops with exit code 4.")
 
+let conform_t =
+  Arg.(
+    value & flag
+    & info [ "conform" ]
+        ~doc:
+          "Instead of solving, run the conformance oracle on the selected \
+           cycle: every plan variant and the hand-optimized baselines in \
+           lockstep against the naive plan, pairwise within the documented \
+           tolerance budgets (see TESTING.md).  Exits 1 on any mismatch.")
+
 let cmd =
   let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
   let exits =
@@ -414,6 +434,6 @@ let cmd =
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
       $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ metrics_t
       $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t
-      $ mem_budget_t $ deadline_t)
+      $ mem_budget_t $ deadline_t $ conform_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -195,8 +195,19 @@ let run dims cycle smoothing levels n variant what mem_budget domains =
       Printf.printf "plan check: FAILED — %d issue%s\n" (List.length issues)
         (if List.length issues = 1 then "" else "s");
       exit 1)
+  | "conform" -> (
+    (* emitted-C run-equivalence: compile the self-contained C driver,
+       run it, diff its grid dump against the engine *)
+    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
+    let name =
+      Printf.sprintf "%s/%s" (Cycle.bench_name cfg) (Options.name opts)
+    in
+    let verdict = Conformance.c_equivalence plan in
+    Format.printf "%a@." Conformance.pp_c_verdict (name, verdict);
+    if not (Conformance.c_verdict_pass verdict) then exit 1)
   | _ ->
-    prerr_endline "what must be dag, groups, c, cost, explain, check or budget";
+    prerr_endline
+      "what must be dag, groups, c, cost, explain, check, budget or conform";
     exit 2
 
 let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
@@ -220,7 +231,9 @@ let what_t =
               Plan_check storage-safety pass and report violations), or \
               budget (the resource-governance degradation ladder: every \
               rung's modelled footprint and cost, the chosen rung under \
-              --mem-budget, and each demotion's cost delta).")
+              --mem-budget, and each demotion's cost delta), or conform \
+              (compile and run the emitted-C driver, diffing its grid \
+              dump against the engine; exits 1 on mismatch).")
 
 let mem_budget_t =
   Arg.(

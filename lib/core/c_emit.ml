@@ -3,7 +3,21 @@ open Repro_poly
 
 let pf = Format.fprintf
 
-(* C rendering of a scaled-affine access applied to loop variable [v] *)
+let loop_vars = [| "i"; "j"; "k"; "l" |]
+
+let c_ident s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let fstr v = Printf.sprintf "%.17g" v
+
+(* C rendering of a scaled-affine access applied to loop variable [v].
+   Divisions go through the FDIV macro (floor division), matching the
+   engine's [Box.fdiv] for negative numerators. *)
 let access_str (a : Expr.access) v =
   let numer =
     if a.Expr.mul = 1 && a.Expr.add = 0 then v
@@ -12,18 +26,19 @@ let access_str (a : Expr.access) v =
     else Printf.sprintf "(%d*%s%+d)" a.Expr.mul v a.Expr.add
   in
   let scaled =
-    if a.Expr.den = 1 then numer else Printf.sprintf "%s/%d" numer a.Expr.den
+    if a.Expr.den = 1 then numer
+    else Printf.sprintf "FDIV(%s, %d)" numer a.Expr.den
   in
   if a.Expr.off = 0 then scaled else Printf.sprintf "(%s%+d)" scaled a.Expr.off
 
-let loop_vars = [| "i"; "j"; "k"; "l" |]
-
-(* storage binding of a member's producer, as (array name, strides, origin
-   expressions) *)
+(* Storage binding of a stage's array/scratchpad: the value at grid
+   coordinate [x] lives at [name[Σ (x_k − org_k)·strides_k]].  Strides and
+   origins are C expressions: integer literals for full arrays, runtime
+   bound variables for per-tile scratchpads. *)
 type cstore = {
   cname : string;
-  cstrides : int array;
-  corg : string array;  (* per-dim origin expression subtracted from index *)
+  cstrides : string array;
+  corg : string array;
 }
 
 let index_str store accs =
@@ -35,65 +50,77 @@ let index_str store accs =
           if store.corg.(k) = "0" then idx
           else Printf.sprintf "(%s - %s)" idx store.corg.(k)
         in
-        if store.cstrides.(k) = 1 then idx
-        else Printf.sprintf "%s*%d" idx store.cstrides.(k))
+        if store.cstrides.(k) = "1" then idx
+        else Printf.sprintf "%s*%s" idx store.cstrides.(k))
   in
   String.concat " + " parts
 
-let self_index_str store dims =
-  let accs =
-    Array.init dims (fun _ -> { Expr.mul = 1; add = 0; den = 1; off = 0 })
-  in
-  index_str store accs
+let self_accs dims =
+  Array.init dims (fun _ -> { Expr.mul = 1; add = 0; den = 1; off = 0 })
 
-let term_str store (t : Compile.term) stores =
+let self_index_str store dims = index_str store (self_accs dims)
+
+let term_str (t : Compile.term) stores =
   let s = stores.(t.Compile.pos) in
-  ignore store;
   Printf.sprintf "%.17g * %s[%s]" t.Compile.coef s.cname
     (index_str s t.Compile.accs)
 
-let emit_member fmt ~(member : Plan.member) ~(stores : cstore array)
-    ~(dst : cstore) ~bounds ~indent =
+let int_strs = Array.map string_of_int
+
+(* Row-major strides for a grid with one ghost layer per side. *)
+let strides_of_sizes sizes =
+  let d = Array.length sizes in
+  let s = Array.make d 1 in
+  for k = d - 2 downto 0 do
+    s.(k) <- s.(k + 1) * (sizes.(k + 1) + 2)
+  done;
+  s
+
+let zeros d = Array.make d "0"
+
+let full_store name sizes =
+  { cname = name;
+    cstrides = int_strs (strides_of_sizes sizes);
+    corg = zeros (Array.length sizes) }
+
+(* ------------------------------------------------------------------ *)
+(* Loop-nest emitters                                                   *)
+
+(* The compute cases of [member] over the inclusive bounds [lb..ub]
+   (C expressions, typically hoisted variables), writing through [dst]
+   and reading producers through [stores] — the engine's
+   [Compile.run] cases over region ∩ interior. *)
+let emit_cases fmt ~(member : Plan.member) ~(stores : cstore array)
+    ~(dst : cstore) ~(lb : string array) ~(ub : string array) ~indent =
   let dims = member.Plan.func.Func.dims in
   let pad = String.make indent ' ' in
-  pf fmt "%s{ /* stage %s */@," pad member.Plan.func.Func.name;
-  Array.iteri
-    (fun k (lb, ub) ->
-      pf fmt "%sint lb_%d = %s, ub_%d = %s;@," pad k lb k ub)
-    bounds;
   List.iter
     (fun (case : Compile.case_t) ->
       (match case.Compile.parity with
-       | None -> ()
-       | Some p ->
-         pf fmt "%s/* parity case (%s) */@," pad
-           (String.concat ","
-              (Array.to_list (Array.map string_of_int p))));
-      let stride =
-        match case.Compile.parity with None -> 1 | Some _ -> 2
-      in
-      let open_loops () =
-        for k = 0 to dims - 1 do
-          let st = stride in
-          let from =
-            match case.Compile.parity with
-            | None -> Printf.sprintf "lb_%d" k
-            | Some p ->
-              Printf.sprintf "lb_%d + ((%d - lb_%d) %% 2 + 2) %% 2" k p.(k) k
-          in
-          if k = dims - 1 then pf fmt "%s#pragma ivdep@," pad;
-          pf fmt "%s%sfor (int %s = %s; %s <= ub_%d; %s += %d)@," pad
-            (String.make (2 * k) ' ')
-            loop_vars.(k) from loop_vars.(k) k loop_vars.(k) st
-        done
-      in
-      open_loops ();
+      | None -> ()
+      | Some p ->
+        pf fmt "%s/* parity case (%s) */@," pad
+          (String.concat "," (Array.to_list (Array.map string_of_int p))));
+      let stride = match case.Compile.parity with None -> 1 | Some _ -> 2 in
+      for k = 0 to dims - 1 do
+        let from =
+          match case.Compile.parity with
+          | None -> lb.(k)
+          | Some p ->
+            Printf.sprintf "%s + ((%d - %s) %% 2 + 2) %% 2" lb.(k) p.(k)
+              lb.(k)
+        in
+        if k = dims - 1 then pf fmt "%s#pragma ivdep@," pad;
+        pf fmt "%s%sfor (int %s = %s; %s <= %s; %s += %d)@," pad
+          (String.make (2 * k) ' ')
+          loop_vars.(k) from loop_vars.(k) ub.(k) loop_vars.(k) stride
+      done;
       let body =
         match case.Compile.kernel with
         | Compile.Lin { base; terms } ->
           let parts =
-            (if base <> 0.0 then [ Printf.sprintf "%.17g" base ] else [])
-            @ Array.to_list (Array.map (fun t -> term_str dst t stores) terms)
+            (if base <> 0.0 then [ fstr base ] else [])
+            @ Array.to_list (Array.map (fun t -> term_str t stores) terms)
           in
           if parts = [] then "0.0" else String.concat " + " parts
         | Compile.Gen _ -> "eval_point() /* non-affine definition */"
@@ -101,31 +128,488 @@ let emit_member fmt ~(member : Plan.member) ~(stores : cstore array)
       pf fmt "%s%s%s[%s] = %s;@," pad
         (String.make (2 * dims) ' ')
         dst.cname (self_index_str dst dims) body)
-    member.Plan.compiled.Compile.cases;
-  pf fmt "%s}@," pad
+    member.Plan.compiled.Compile.cases
 
-let zeros d = Array.make d "0"
+(* Boundary value on [lb..ub] ∖ interior [1..msz] — the engine's
+   [Compile.fill_rim] over a demand region's ghost part. *)
+let emit_rim fmt ~dims ~(dst : cstore) ~(lb : string array)
+    ~(ub : string array) ~(msz : int array) ~bnd ~indent =
+  let pad = String.make indent ' ' in
+  for k = 0 to dims - 1 do
+    pf fmt "%s%sfor (int %s = %s; %s <= %s; %s++)@," pad
+      (String.make (2 * k) ' ')
+      loop_vars.(k) lb.(k) loop_vars.(k) ub.(k) loop_vars.(k)
+  done;
+  let cond =
+    String.concat " || "
+      (List.init dims (fun k ->
+           Printf.sprintf "%s < 1 || %s > %d" loop_vars.(k) loop_vars.(k)
+             msz.(k)))
+  in
+  pf fmt "%s%sif (%s) %s[%s] = %s;@," pad
+    (String.make (2 * dims) ' ')
+    cond dst.cname (self_index_str dst dims) (fstr bnd)
 
-let c_ident s =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
-      | _ -> '_')
-    s
+let emit_copy fmt ~dims ~(src : cstore) ~(dst : cstore) ~(lb : string array)
+    ~(ub : string array) ~indent =
+  let pad = String.make indent ' ' in
+  for k = 0 to dims - 1 do
+    pf fmt "%s%sfor (int %s = %s; %s <= %s; %s++)@," pad
+      (String.make (2 * k) ' ')
+      loop_vars.(k) lb.(k) loop_vars.(k) ub.(k) loop_vars.(k)
+  done;
+  pf fmt "%s%s%s[%s] = %s[%s];@," pad
+    (String.make (2 * dims) ' ')
+    dst.cname (self_index_str dst dims) src.cname (self_index_str src dims)
 
-let emit fmt (plan : Plan.t) =
+(* ------------------------------------------------------------------ *)
+(* Per-tile bound planning for overlapped-tile groups.
+
+   The engine recomputes [Regions.demand] per tile; the C rendering needs
+   static bounds.  For each member we try the affine min/max-clamped form
+   of Fig. 8 (offsets from the scaled tile origin, calibrated on a middle
+   tile) and validate it against the exact demand/own-slice boxes of
+   EVERY tile; truncated border tiles, non-divisible coarsening scales
+   and the refinement top-boundary special case flunk validation, in
+   which case the whole group falls back to exact per-tile bound tables
+   (the generality/size trade-off is reported in the group comment). *)
+
+let boxes_of_tiles (tg : Plan.tiled_group) =
+  let geom = tg.Plan.geom in
+  let nm = Array.length tg.Plan.members in
+  let regions =
+    Array.map
+      (fun tile -> Array.map snd (Regions.demand geom ~tile))
+      tg.Plan.tiles
+  in
+  let owns =
+    Array.mapi
+      (fun ti tile ->
+        Array.init nm (fun p ->
+            let m = tg.Plan.members.(p) in
+            if m.Plan.array_id = None then Box.empty (Box.rank tile)
+            else
+              Box.inter
+                (Regions.own_slice geom m.Plan.func.Func.id ~tile)
+                regions.(ti).(p)))
+      tg.Plan.tiles
+  in
+  (regions, owns)
+
+let tile_coords ~counts flat =
+  let d = Array.length counts in
+  let idx = Array.make d 0 in
+  let rem = ref flat in
+  for k = d - 1 downto 0 do
+    idx.(k) <- !rem mod counts.(k);
+    rem := !rem / counts.(k)
+  done;
+  idx
+
+(* Scaled tile extent of member [p] along dim [k]. *)
+let scale_of (tg : Plan.tiled_group) (m : Plan.member) k =
+  let rel = (Regions.rel_of tg.Plan.geom m.Plan.func.Func.id).(k) in
+  if rel >= 0 then tg.Plan.tile_sizes.(k) * (1 lsl rel)
+  else Int.max 1 (tg.Plan.tile_sizes.(k) / (1 lsl (-rel)))
+
+(* Try the affine form: lo = max(cl, s·T + lo_off), hi = min(ch, s·T + s −
+   1 + hi_off), calibrated on the middle tile.  Returns per-(member, dim)
+   offsets, or None if any tile's exact box disagrees. *)
+let try_affine (tg : Plan.tiled_group) ~counts ~(boxes : Box.t array array)
+    ~(want : int -> bool) ~(clamp : Plan.member -> int -> int * int) =
+  let nm = Array.length tg.Plan.members in
+  let ntiles = Array.length tg.Plan.tiles in
+  let dims = Array.length counts in
+  let midc = tile_coords ~counts (ntiles / 2) in
+  let offs = Array.make_matrix nm dims None in
+  (* calibrate on the middle tile *)
+  Array.iteri
+    (fun p (m : Plan.member) ->
+      if want p then
+        let b = boxes.(ntiles / 2).(p) in
+        for k = 0 to dims - 1 do
+          if not (Box.is_empty b) then begin
+            let s = scale_of tg m k in
+            offs.(p).(k) <-
+              Some
+                ( s,
+                  b.Box.lo.(k) - (s * midc.(k)),
+                  b.Box.hi.(k) - ((s * midc.(k)) + s - 1) )
+          end
+        done)
+    tg.Plan.members;
+  (* validate every tile against the prediction *)
+  let ok = ref true in
+  for ti = 0 to ntiles - 1 do
+    let tc = tile_coords ~counts ti in
+    Array.iteri
+      (fun p (m : Plan.member) ->
+        if want p && !ok then
+          let b = boxes.(ti).(p) in
+          let pred_empty = ref false in
+          let plo = Array.make dims 0 and phi = Array.make dims 0 in
+          for k = 0 to dims - 1 do
+            match offs.(p).(k) with
+            | None -> pred_empty := true
+            | Some (s, lo_off, hi_off) ->
+              let cl, ch = clamp m k in
+              plo.(k) <- Int.max cl ((s * tc.(k)) + lo_off);
+              phi.(k) <- Int.min ch ((s * tc.(k)) + s - 1 + hi_off);
+              if phi.(k) < plo.(k) then pred_empty := true
+          done;
+          if Box.is_empty b then ok := !ok && !pred_empty
+          else
+            ok :=
+              !ok && (not !pred_empty) && plo = b.Box.lo && phi = b.Box.hi)
+      tg.Plan.members
+  done;
+  if !ok then Some offs else None
+
+(* ------------------------------------------------------------------ *)
+(* Tiled group emission                                                 *)
+
+let emit_tiled fmt ~(input_store : int -> cstore)
+    ~(array_store : int -> of_func:int -> cstore) (tg : Plan.tiled_group) =
+  let geom = tg.Plan.geom in
+  let refm = Regions.reference geom in
+  let dims = Array.length refm.Regions.sizes in
+  let counts =
+    Array.init dims (fun k ->
+        (refm.Regions.sizes.(k) + tg.Plan.tile_sizes.(k) - 1)
+        / tg.Plan.tile_sizes.(k))
+  in
+  let ntiles = Array.length tg.Plan.tiles in
+  assert (Array.fold_left ( * ) 1 counts = ntiles);
+  let regions, owns = boxes_of_tiles tg in
+  let nm = Array.length tg.Plan.members in
+  let members = tg.Plan.members in
+  (* which boxes the emission actually indexes with: demand regions for
+     scratch members, own slices for live-outs *)
+  let wants_region p = members.(p).Plan.scratch_slot <> None in
+  let wants_own p = members.(p).Plan.array_id <> None in
+  let affine_r =
+    try_affine tg ~counts ~boxes:regions ~want:wants_region
+      ~clamp:(fun m k -> (0, m.Plan.sizes.(k) + 1))
+  in
+  let affine_o =
+    try_affine tg ~counts ~boxes:owns ~want:wants_own
+      ~clamp:(fun m k -> (1, m.Plan.sizes.(k)))
+  in
+  let affine_ok = affine_r <> None && affine_o <> None in
+  pf fmt "@,  /* ---- group %d: overlapped tiles %s over %s (%s bounds) ---- */@,"
+    tg.Plan.gid
+    (String.concat "x"
+       (Array.to_list (Array.map string_of_int tg.Plan.tile_sizes)))
+    refm.Regions.func.Func.name
+    (if affine_ok then "affine" else "tabled");
+  (* exact per-tile bound tables when the affine form does not validate *)
+  if not affine_ok then begin
+    let emit_table tag boxes want =
+      for p = 0 to nm - 1 do
+        if want p then begin
+          pf fmt "  static const int _%s_%d_%d[%d][%d] = {@," tag tg.Plan.gid
+            p ntiles (2 * dims);
+          for ti = 0 to ntiles - 1 do
+            let b = boxes.(ti).(p) in
+            let cells =
+              List.init (2 * dims) (fun j ->
+                  let k = j / 2 in
+                  if j mod 2 = 0 then string_of_int b.Box.lo.(k)
+                  else string_of_int b.Box.hi.(k))
+            in
+            pf fmt "    {%s}%s@," (String.concat ", " cells)
+              (if ti = ntiles - 1 then "" else ",")
+          done;
+          pf fmt "  };@,"
+        end
+      done
+    in
+    emit_table "rb" regions wants_region;
+    emit_table "ob" owns wants_own
+  end;
+  (* ghost-rim prefill of this group's live-out arrays (engine: the
+     per-group fill_rim over with_ghost ∖ interior before the tiles) *)
+  Array.iter
+    (fun (m : Plan.member) ->
+      match m.Plan.array_id with
+      | None -> ()
+      | Some a ->
+        let st = array_store a ~of_func:m.Plan.func.Func.id in
+        pf fmt "  /* ghost rim of live-out %s */@," m.Plan.func.Func.name;
+        emit_rim fmt ~dims ~dst:st ~lb:(zeros dims)
+          ~ub:(Array.map (fun s -> string_of_int (s + 1)) m.Plan.sizes)
+          ~msz:m.Plan.sizes ~bnd:m.Plan.compiled.Compile.boundary ~indent:2)
+    members;
+  pf fmt "  #pragma omp parallel for schedule(static) collapse(%d)@," dims;
+  for k = 0 to dims - 1 do
+    pf fmt "  %sfor (int T_%d = 0; T_%d < %d; T_%d++) {@,"
+      (String.make (2 * k) ' ')
+      k k counts.(k) k
+  done;
+  let indent = 2 + (2 * dims) in
+  let pad = String.make indent ' ' in
+  (* scratchpads with user lists *)
+  let slot_users = Array.make (Array.length tg.Plan.scratch_slot_len) [] in
+  Array.iter
+    (fun (m : Plan.member) ->
+      match m.Plan.scratch_slot with
+      | Some s -> slot_users.(s) <- m.Plan.func.Func.name :: slot_users.(s)
+      | None -> ())
+    members;
+  Array.iteri
+    (fun s len ->
+      pf fmt "%s/* users: [%s] */@," pad
+        (String.concat "; " (List.rev slot_users.(s)));
+      pf fmt "%sdouble _buf_%d_%d[%d];@," pad tg.Plan.gid s len)
+    tg.Plan.scratch_slot_len;
+  if not affine_ok then begin
+    (* row-major tile index, matching Regions.tiles order *)
+    let tix =
+      let rec go k acc =
+        if k = dims then acc
+        else
+          go (k + 1)
+            (if acc = "" then Printf.sprintf "T_%d" k
+             else Printf.sprintf "(%s)*%d + T_%d" acc counts.(k) k)
+      in
+      go 0 ""
+    in
+    pf fmt "%sconst int _tix = %s;@," pad tix
+  end;
+  (* bound expressions per member *)
+  let bound_exprs affine boxes_tag p (m : Plan.member) clamp =
+    match affine with
+    | Some offs ->
+      Array.init dims (fun k ->
+          match offs.(p).(k) with
+          | None -> ("0", "-1")
+          | Some (s, lo_off, hi_off) ->
+            let cl, ch = clamp m k in
+            ( Printf.sprintf "max(%d, %d*T_%d%+d)" cl s k lo_off,
+              Printf.sprintf "min(%d, %d*T_%d%+d)" ch s k
+                (s - 1 + hi_off) ))
+    | None ->
+      Array.init dims (fun k ->
+          ( Printf.sprintf "_%s_%d_%d[_tix][%d]" boxes_tag tg.Plan.gid p
+              (2 * k),
+            Printf.sprintf "_%s_%d_%d[_tix][%d]" boxes_tag tg.Plan.gid p
+              ((2 * k) + 1) ))
+  in
+  (* names of the hoisted per-member bound/stride variables *)
+  let rvar p k lo = Printf.sprintf "%s%d_%d" (if lo then "lb_" else "ub_") p k in
+  let cvar p k lo = Printf.sprintf "%s%d_%d" (if lo then "cl_" else "cu_") p k in
+  let ovar p k lo = Printf.sprintf "%s%d_%d" (if lo then "ol_" else "oh_") p k in
+  let svar p k = Printf.sprintf "st_%d_%d" p k in
+  let scratch_store p =
+    match members.(p).Plan.scratch_slot with
+    | Some s ->
+      { cname = Printf.sprintf "_buf_%d_%d" tg.Plan.gid s;
+        cstrides = Array.init dims (svar p);
+        corg = Array.init dims (fun k -> rvar p k true) }
+    | None -> invalid_arg "C_emit: scratch read of an unbuffered member"
+  in
+  Array.iteri
+    (fun p (m : Plan.member) ->
+      let msz = m.Plan.sizes in
+      let stores =
+        Array.mapi
+          (fun i src ->
+            match src with
+            | Plan.P_input idx -> input_store idx
+            | Plan.P_array a ->
+              array_store a ~of_func:m.Plan.compiled.Compile.producers.(i)
+            | Plan.P_member q -> scratch_store q)
+          m.Plan.src_of
+      in
+      (match m.Plan.scratch_slot with
+      | Some _ ->
+        (* demand-region bounds, runtime strides, rim fill, compute *)
+        let bounds =
+          bound_exprs affine_r "rb" p m (fun m k ->
+              (0, m.Plan.sizes.(k) + 1))
+        in
+        Array.iteri
+          (fun k (lo, hi) ->
+            pf fmt "%sconst int %s = %s, %s = %s;@," pad (rvar p k true) lo
+              (rvar p k false) hi)
+          bounds;
+        (* strides from the per-tile region widths — the engine's
+           region_source layout, so addressing is identical *)
+        pf fmt "%sconst int %s = 1;@," pad (svar p (dims - 1));
+        for k = dims - 2 downto 0 do
+          pf fmt "%sconst int %s = %s * (%s - %s + 1);@," pad (svar p k)
+            (svar p (k + 1))
+            (rvar p (k + 1) false)
+            (rvar p (k + 1) true)
+        done;
+        for k = 0 to dims - 1 do
+          pf fmt "%sconst int %s = max(%s, 1), %s = min(%s, %d);@," pad
+            (cvar p k true) (rvar p k true) (cvar p k false) (rvar p k false)
+            msz.(k)
+        done;
+        let dst = scratch_store p in
+        pf fmt "%s{ /* stage %s */@," pad m.Plan.func.Func.name;
+        emit_rim fmt ~dims ~dst
+          ~lb:(Array.init dims (fun k -> rvar p k true))
+          ~ub:(Array.init dims (fun k -> rvar p k false))
+          ~msz ~bnd:m.Plan.compiled.Compile.boundary ~indent:(indent + 2);
+        emit_cases fmt ~member:m ~stores ~dst
+          ~lb:(Array.init dims (fun k -> cvar p k true))
+          ~ub:(Array.init dims (fun k -> cvar p k false))
+          ~indent:(indent + 2);
+        (match m.Plan.array_id with
+        | None -> pf fmt "%s}@," pad
+        | Some a ->
+          (* live-out with in-group readers: publish the own slice *)
+          Array.iteri
+            (fun k (lo, hi) ->
+              pf fmt "%sconst int %s = %s, %s = %s;@," pad (ovar p k true)
+                lo (ovar p k false) hi)
+            (bound_exprs affine_o "ob" p m (fun m k ->
+                 (1, m.Plan.sizes.(k))));
+          emit_copy fmt ~dims ~src:dst
+            ~dst:(array_store a ~of_func:m.Plan.func.Func.id)
+            ~lb:(Array.init dims (fun k -> ovar p k true))
+            ~ub:(Array.init dims (fun k -> ovar p k false))
+            ~indent:(indent + 2);
+          pf fmt "%s}@," pad)
+      | None -> (
+        match m.Plan.array_id with
+        | Some a ->
+          (* live-out without in-group readers: compute the own slice
+             directly into the full array *)
+          Array.iteri
+            (fun k (lo, hi) ->
+              pf fmt "%sconst int %s = %s, %s = %s;@," pad (ovar p k true)
+                lo (ovar p k false) hi)
+            (bound_exprs affine_o "ob" p m (fun m k ->
+                 (1, m.Plan.sizes.(k))));
+          pf fmt "%s{ /* stage %s */@," pad m.Plan.func.Func.name;
+          emit_cases fmt ~member:m ~stores
+            ~dst:(array_store a ~of_func:m.Plan.func.Func.id)
+            ~lb:(Array.init dims (fun k -> ovar p k true))
+            ~ub:(Array.init dims (fun k -> ovar p k false))
+            ~indent:(indent + 2);
+          pf fmt "%s}@," pad
+        | None ->
+          invalid_arg
+            (m.Plan.func.Func.name ^ ": member with neither scratch nor array")))
+      )
+    members;
+  for k = dims - 1 downto 0 do
+    pf fmt "  %s}@," (String.make (2 * k) ' ')
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Diamond group emission: the equivalent untiled time loop.
+
+   Each (t, x) value is computed exactly once under the diamond/skewed
+   schedule, so the plain time loop below is bit-identical to the tiled
+   execution — the tiling only reorders whole-row computations. *)
+
+let emit_diamond fmt ~(input_store : int -> cstore)
+    ~(array_store : int -> of_func:int -> cstore) (dg : Plan.diamond_group) =
+  let nsteps = Array.length dg.Plan.steps in
+  let last = dg.Plan.steps.(nsteps - 1) in
+  let dims = Array.length dg.Plan.sizes in
+  let scheme_str =
+    match dg.Plan.scheme with
+    | Plan.Sched_diamond { sigma } ->
+      Printf.sprintf "diamond time tiling, sigma=%d" sigma
+    | Plan.Sched_skewed { tau; sigma } ->
+      Printf.sprintf "time-skewed (wavefront) tiling, tau=%d sigma=%d" tau
+        sigma
+  in
+  pf fmt "@,  /* ---- group %d: %s, %d steps ---- */@," dg.Plan.gid scheme_str
+    nsteps;
+  pf fmt "  /* executed here as the equivalent untiled time loop: the@,";
+  pf fmt "   * schedule computes every (t, x) row exactly once, so results@,";
+  pf fmt "   * are bit-identical; see lib/poly for the tiled wavefronts */@,";
+  let out_arr =
+    match last.Plan.array_id with
+    | Some a -> a
+    | None -> invalid_arg "C_emit: diamond chain without output array"
+  in
+  let boundary =
+    match last.Plan.func.Func.boundary with
+    | Func.Dirichlet v -> v
+    | Func.Ghost_input -> 0.0
+  in
+  let len =
+    Array.fold_left (fun acc s -> acc * (s + 2)) 1 dg.Plan.sizes
+  in
+  let tmp_name = Printf.sprintf "_dtmp_%d" dg.Plan.gid in
+  let out_store = array_store out_arr ~of_func:last.Plan.func.Func.id in
+  let tmp_store = full_store tmp_name dg.Plan.sizes in
+  pf fmt "  {@,";
+  pf fmt "    double *%s = (double *) pool_allocate(sizeof(double) * %d);@,"
+    tmp_name len;
+  let ghost_ub = Array.map (fun s -> string_of_int (s + 1)) dg.Plan.sizes in
+  List.iter
+    (fun st ->
+      emit_rim fmt ~dims ~dst:st ~lb:(zeros dims) ~ub:ghost_ub
+        ~msz:dg.Plan.sizes ~bnd:boundary ~indent:4)
+    [ out_store; tmp_store ];
+  (* buffer holding iterate t: the final step lands in the output array *)
+  let buf_of t = if (nsteps - t) mod 2 = 0 then out_store else tmp_store in
+  let init_store =
+    match dg.Plan.init_src with
+    | None -> None
+    | Some (Plan.P_input idx) -> Some (input_store idx)
+    | Some (Plan.P_array a) ->
+      let pid =
+        dg.Plan.steps.(0).Plan.compiled.Compile.producers.(dg.Plan.prev_pos.(0))
+      in
+      Some (array_store a ~of_func:pid)
+    | Some (Plan.P_member _) -> invalid_arg "C_emit: bad diamond init source"
+  in
+  for t = 1 to nsteps do
+    let step = t - 1 in
+    let m = dg.Plan.steps.(step) in
+    let stores =
+      Array.mapi
+        (fun i src ->
+          if i = dg.Plan.prev_pos.(step) then
+            if t = 1 then
+              match init_store with
+              | Some s -> s
+              | None -> invalid_arg "C_emit: missing diamond init source"
+            else buf_of (t - 1)
+          else
+            match src with
+            | Plan.P_input idx -> input_store idx
+            | Plan.P_array a ->
+              array_store a ~of_func:m.Plan.compiled.Compile.producers.(i)
+            | Plan.P_member _ ->
+              invalid_arg "C_emit: scratch read inside a diamond chain")
+        m.Plan.src_of
+    in
+    pf fmt "    { /* t = %d: stage %s */@," t m.Plan.func.Func.name;
+    emit_cases fmt ~member:m ~stores ~dst:(buf_of t)
+      ~lb:(Array.make dims "1")
+      ~ub:(Array.map string_of_int dg.Plan.sizes)
+      ~indent:6;
+    pf fmt "    }@,"
+  done;
+  pf fmt "    pool_deallocate(%s);@,  }@," tmp_name
+
+(* ------------------------------------------------------------------ *)
+(* Whole-pipeline body                                                  *)
+
+let emit_body fmt (plan : Plan.t) =
   let pipeline = plan.Plan.pipeline in
   let n = plan.Plan.n in
-  Format.pp_open_vbox fmt 0;
-  pf fmt "/* Generated by PolyMG (OCaml engine): pipeline %s, N = %d, variant %s */@,"
-    (Pipeline.name pipeline) n (Options.name plan.Plan.opts);
-  pf fmt "#include <math.h>@,#include <stddef.h>@,@,";
-  pf fmt "#ifndef max@,#define max(a, b) ((a) > (b) ? (a) : (b))@,#endif@,";
-  pf fmt "#ifndef min@,#define min(a, b) ((a) < (b) ? (a) : (b))@,#endif@,";
-  pf fmt "extern void *pool_allocate(size_t);@,";
-  pf fmt "extern void pool_deallocate(void *);@,";
-  pf fmt "extern double eval_point(void);@,@,";
+  let func_sizes id =
+    let f = Pipeline.func pipeline id in
+    Array.map (fun s -> Sizeexpr.eval ~n s) f.Func.sizes
+  in
+  let array_store a ~of_func =
+    full_store (Printf.sprintf "_arr_%d" a) (func_sizes of_func)
+  in
+  let input_store i =
+    let id = plan.Plan.inputs.(i) in
+    full_store (Pipeline.func pipeline id).Func.name (func_sizes id)
+  in
   let in_names =
     Array.to_list plan.Plan.inputs
     |> List.map (fun id -> (Pipeline.func pipeline id).Func.name)
@@ -134,6 +618,7 @@ let emit fmt (plan : Plan.t) =
     (c_ident (Pipeline.name pipeline))
     (String.concat ", "
        (List.map (fun s -> Printf.sprintf "double *%s" s) in_names));
+  pf fmt "  (void) N;@,";
   (* full arrays with their users *)
   let users = Array.make (Array.length plan.Plan.arrays) [] in
   Array.iter
@@ -152,170 +637,155 @@ let emit fmt (plan : Plan.t) =
     plan.Plan.groups;
   Array.iteri
     (fun a (info : Plan.array_info) ->
-      pf fmt "  /* users: [%s] */@,"
-        (String.concat "; " (List.rev users.(a)));
+      pf fmt "  /* users: [%s] */@," (String.concat "; " (List.rev users.(a)));
       pf fmt "  double *_arr_%d = (double *) pool_allocate(sizeof(double) * %d);@,"
         a info.Plan.len)
     plan.Plan.arrays;
-  let func_sizes id =
-    let f = Pipeline.func pipeline id in
-    Array.map (fun s -> Sizeexpr.eval ~n s) f.Func.sizes
-  in
-  let strides_of sizes =
-    let d = Array.length sizes in
-    let s = Array.make d 1 in
-    for k = d - 2 downto 0 do
-      s.(k) <- s.(k + 1) * (sizes.(k + 1) + 2)
-    done;
-    s
-  in
-  let raw_strides extents =
-    let d = Array.length extents in
-    let s = Array.make d 1 in
-    for k = d - 2 downto 0 do
-      s.(k) <- s.(k + 1) * extents.(k + 1)
-    done;
-    s
-  in
-  let array_store a ~of_func =
-    let sizes = func_sizes of_func in
-    { cname = Printf.sprintf "_arr_%d" a;
-      cstrides = strides_of sizes;
-      corg = zeros (Array.length sizes) }
-  in
-  let input_store i =
-    let id = plan.Plan.inputs.(i) in
-    let sizes = func_sizes id in
-    { cname = (Pipeline.func pipeline id).Func.name;
-      cstrides = strides_of sizes;
-      corg = zeros (Array.length sizes) }
-  in
   Array.iter
     (fun g ->
       match g with
-      | Plan.G_tiled tg ->
-        let geom = tg.Plan.geom in
-        let refm = Regions.reference geom in
-        let dims = Array.length refm.Regions.sizes in
-        pf fmt "@,  /* ---- group %d: overlapped tiles %s over %s ---- */@,"
-          tg.Plan.gid
-          (String.concat "x"
-             (Array.to_list (Array.map string_of_int tg.Plan.tile_sizes)))
-          refm.Regions.func.Func.name;
-        pf fmt "  #pragma omp parallel for schedule(static) collapse(%d)@," dims;
-        let counts =
-          Array.init dims (fun k ->
-              (refm.Regions.sizes.(k) + tg.Plan.tile_sizes.(k) - 1)
-              / tg.Plan.tile_sizes.(k))
-        in
-        for k = 0 to dims - 1 do
-          pf fmt "  %sfor (int T_%d = 0; T_%d < %d; T_%d++) {@,"
-            (String.make (2 * k) ' ')
-            k k counts.(k) k
-        done;
-        let pad = String.make (2 + (2 * dims)) ' ' in
-        (* scratchpads with user lists *)
-        let slot_users = Array.make (Array.length tg.Plan.scratch_slot_len) [] in
-        Array.iter
-          (fun (m : Plan.member) ->
-            match m.Plan.scratch_slot with
-            | Some s -> slot_users.(s) <- m.Plan.func.Func.name :: slot_users.(s)
-            | None -> ())
-          tg.Plan.members;
-        Array.iteri
-          (fun s len ->
-            pf fmt "%s/* users: [%s] */@," pad
-              (String.concat "; " (List.rev slot_users.(s)));
-            pf fmt "%sdouble _buf_%d_%d[%d];@," pad tg.Plan.gid s len)
-          tg.Plan.scratch_slot_len;
-        (* representative tile: middle one, for bound offsets *)
-        let mid = tg.Plan.tiles.(Array.length tg.Plan.tiles / 2) in
-        let req = Regions.demand geom ~tile:mid in
-        Array.iteri
-          (fun p (m : Plan.member) ->
-            let _, region = req.(p) in
-            if not (Box.is_empty region) then begin
-              (* bounds as offsets from the scaled tile origin *)
-              let rel = Regions.rel_of geom m.Plan.func.Func.id in
-              let bounds =
-                Array.init dims (fun k ->
-                    let scale k' =
-                      let r = rel.(k') in
-                      if r >= 0 then tg.Plan.tile_sizes.(k') * (1 lsl r)
-                      else tg.Plan.tile_sizes.(k') / (1 lsl (-r))
-                    in
-                    let s = Int.max 1 (scale k) in
-                    let lo_off = region.Box.lo.(k) - (mid.Box.lo.(k) - 1) in
-                    let hi_off = region.Box.hi.(k) - mid.Box.hi.(k) in
-                    ( Printf.sprintf "max(0, %d*T_%d%+d)" s k lo_off,
-                      Printf.sprintf "min(%d, %d*T_%d%+d)"
-                        (m.Plan.sizes.(k) + 1)
-                        s k
-                        (s - 1 + hi_off) ))
-              in
-              let stores =
-                Array.mapi
-                  (fun i src ->
-                    match src with
-                    | Plan.P_input idx -> input_store idx
-                    | Plan.P_array a ->
-                      array_store a
-                        ~of_func:m.Plan.compiled.Compile.producers.(i)
-                    | Plan.P_member q -> (
-                      let mq = tg.Plan.members.(q) in
-                      match mq.Plan.scratch_slot with
-                      | Some s ->
-                        let _, bq = req.(q) in
-                        { cname = Printf.sprintf "_buf_%d_%d" tg.Plan.gid s;
-                          cstrides = raw_strides (Box.widths bq);
-                          corg = Array.map string_of_int bq.Box.lo }
-                      | None -> assert false))
-                  m.Plan.src_of
-              in
-              let dst =
-                match (m.Plan.scratch_slot, m.Plan.array_id) with
-                | Some s, _ ->
-                  { cname = Printf.sprintf "_buf_%d_%d" tg.Plan.gid s;
-                    cstrides = raw_strides (Box.widths region);
-                    corg = Array.map string_of_int region.Box.lo }
-                | None, Some a -> array_store a ~of_func:m.Plan.func.Func.id
-                | None, None -> assert false
-              in
-              emit_member fmt ~member:m ~stores ~dst ~bounds
-                ~indent:(2 + (2 * dims))
-            end)
-          tg.Plan.members;
-        for k = dims - 1 downto 0 do
-          pf fmt "  %s}@," (String.make (2 * k) ' ')
-        done
-      | Plan.G_diamond dg ->
-        let scheme_str =
-          match dg.Plan.scheme with
-          | Plan.Sched_diamond { sigma } ->
-            Printf.sprintf "diamond time tiling, sigma=%d" sigma
-          | Plan.Sched_skewed { tau; sigma } ->
-            Printf.sprintf "time-skewed (wavefront) tiling, tau=%d sigma=%d"
-              tau sigma
-        in
-        pf fmt "@,  /* ---- group %d: %s, %d steps ---- */@," dg.Plan.gid
-          scheme_str
-          (Array.length dg.Plan.steps);
-        pf fmt "  /* for (int wf = wf_min; wf <= wf_max; wf++) {@,";
-        pf fmt "   *   #pragma omp parallel for schedule(dynamic)@,";
-        pf fmt "   *   for (int tile = 0; tile < tiles_in(wf); tile++)@,";
-        pf fmt "   *     for each (t, x_lo..x_hi) row of the tile:@,";
-        pf fmt "   *       jacobi_row(buf[t%%2], buf[(t+1)%%2], x_lo, x_hi);@,";
-        pf fmt "   * }  (time-tiled smoother; see lib/poly) */@,")
+      | Plan.G_tiled tg -> emit_tiled fmt ~input_store ~array_store tg
+      | Plan.G_diamond dg -> emit_diamond fmt ~input_store ~array_store dg)
     plan.Plan.groups;
-  (* releases *)
+  (* releases; output arrays are returned to the caller *)
   Array.iteri
     (fun a (info : Plan.array_info) ->
       if not info.Plan.output then pf fmt "  pool_deallocate(_arr_%d);@," a)
     plan.Plan.arrays;
-  pf fmt "}@,";
+  List.iteri
+    (fun i (_, a) -> pf fmt "  out[%d] = _arr_%d;@," i a)
+    plan.Plan.output_arrays;
+  pf fmt "}@,"
+
+let emit_prelude fmt (plan : Plan.t) =
+  pf fmt "/* Generated by PolyMG (OCaml engine): pipeline %s, N = %d, variant %s */@,"
+    (Pipeline.name plan.Plan.pipeline)
+    plan.Plan.n
+    (Options.name plan.Plan.opts);
+  pf fmt "#include <math.h>@,#include <stddef.h>@,@,";
+  pf fmt "#ifndef max@,#define max(a, b) ((a) > (b) ? (a) : (b))@,#endif@,";
+  pf fmt "#ifndef min@,#define min(a, b) ((a) < (b) ? (a) : (b))@,#endif@,";
+  pf fmt "/* floor division, matching the engine for negative numerators */@,";
+  pf fmt "#define FDIV(a, b) ((a) >= 0 ? (a) / (b) : -((-(a) + (b) - 1) / (b)))@,"
+
+let emit fmt (plan : Plan.t) =
+  Format.pp_open_vbox fmt 0;
+  emit_prelude fmt plan;
+  pf fmt "extern void *pool_allocate(size_t);@,";
+  pf fmt "extern void pool_deallocate(void *);@,";
+  pf fmt "extern double eval_point(void);@,@,";
+  emit_body fmt plan;
   Format.pp_close_box fmt ()
 
 let to_string plan = Format.asprintf "%a" emit plan
 
 let line_count plan =
   to_string plan |> String.split_on_char '\n' |> List.length
+
+(* ------------------------------------------------------------------ *)
+(* Self-contained driver emission (conformance harness)                 *)
+
+let runnable (plan : Plan.t) =
+  let issues = ref [] in
+  let check_member (m : Plan.member) =
+    List.iter
+      (fun (case : Compile.case_t) ->
+        match case.Compile.kernel with
+        | Compile.Lin _ -> ()
+        | Compile.Gen _ ->
+          issues :=
+            (m.Plan.func.Func.name ^ ": non-affine definition (Gen kernel)")
+            :: !issues)
+      m.Plan.compiled.Compile.cases
+  in
+  Array.iter
+    (fun g ->
+      match g with
+      | Plan.G_tiled tg -> Array.iter check_member tg.Plan.members
+      | Plan.G_diamond dg ->
+        Array.iter check_member dg.Plan.steps;
+        (match dg.Plan.init_src with
+        | Some (Plan.P_member _) ->
+          issues := "diamond chain with scratch init source" :: !issues
+        | _ -> ()))
+    plan.Plan.groups;
+  match List.sort_uniq String.compare !issues with
+  | [] -> Ok ()
+  | l -> Error (String.concat "; " l)
+
+let driver_to_string (plan : Plan.t) =
+  match runnable plan with
+  | Error e -> Error e
+  | Ok () ->
+    let pipeline = plan.Plan.pipeline in
+    let n = plan.Plan.n in
+    let func_sizes id =
+      let f = Pipeline.func pipeline id in
+      Array.map (fun s -> Sizeexpr.eval ~n s) f.Func.sizes
+    in
+    let buf = Buffer.create 65536 in
+    let fmt = Format.formatter_of_buffer buf in
+    Format.pp_open_vbox fmt 0;
+    emit_prelude fmt plan;
+    pf fmt "#include <stdio.h>@,#include <stdlib.h>@,@,";
+    pf fmt "static void *pool_allocate(size_t n) { return calloc(n, 1); }@,";
+    pf fmt "static void pool_deallocate(void *p) { free(p); }@,@,";
+    pf fmt "/* deterministic input fill (FNV-1a over the multi-index),@,";
+    pf fmt "   mirrored exactly by Repro_mg.Conformance.fill_val */@,";
+    pf fmt "static double fill_val(int input, const int *idx, int dims)@,{@,";
+    pf fmt "  unsigned int h = 2166136261u;@,";
+    pf fmt "  h = (h ^ (unsigned int) input) * 16777619u;@,";
+    pf fmt "  for (int k = 0; k < dims; k++)@,";
+    pf fmt "    h = (h ^ (unsigned int) idx[k]) * 16777619u;@,";
+    pf fmt "  return (double) (h & 0xFFFFFu) / 1048576.0 - 0.5;@,}@,@,";
+    emit_body fmt plan;
+    (* main: fill inputs, run the pipeline, dump every output grid *)
+    pf fmt "@,int main(int argc, char **argv)@,{@,";
+    pf fmt "  if (argc < 2) { fprintf(stderr, \"usage: %%s OUT.bin\\n\", argv[0]); return 2; }@,";
+    Array.iteri
+      (fun i id ->
+        let f = Pipeline.func pipeline id in
+        let sizes = func_sizes id in
+        let dims = Array.length sizes in
+        let len = Array.fold_left (fun acc s -> acc * (s + 2)) 1 sizes in
+        let strides = strides_of_sizes sizes in
+        pf fmt "  double *%s = (double *) calloc(%d, sizeof(double));@,"
+          f.Func.name len;
+        pf fmt "  { int idx[%d];@," dims;
+        for k = 0 to dims - 1 do
+          pf fmt "  %sfor (idx[%d] = 1; idx[%d] <= %d; idx[%d]++)@,"
+            (String.make (2 * k) ' ')
+            k k sizes.(k) k
+        done;
+        let off =
+          String.concat " + "
+            (List.init dims (fun k ->
+                 if strides.(k) = 1 then Printf.sprintf "idx[%d]" k
+                 else Printf.sprintf "idx[%d]*%d" k strides.(k)))
+        in
+        pf fmt "  %s%s[%s] = fill_val(%d, idx, %d);@,"
+          (String.make (2 * dims) ' ')
+          f.Func.name off i dims;
+        pf fmt "  }@,")
+      plan.Plan.inputs;
+    let nout = List.length plan.Plan.output_arrays in
+    pf fmt "  double *outs[%d] = {0};@," (Int.max 1 nout);
+    pf fmt "  pipeline_%s(%d, %s, outs);@,"
+      (c_ident (Pipeline.name pipeline))
+      n
+      (String.concat ", "
+         (Array.to_list plan.Plan.inputs
+         |> List.map (fun id -> (Pipeline.func pipeline id).Func.name)));
+    pf fmt "  FILE *fp = fopen(argv[1], \"wb\");@,";
+    pf fmt "  if (!fp) { perror(argv[1]); return 1; }@,";
+    List.iteri
+      (fun i (fid, _) ->
+        let sizes = func_sizes fid in
+        let len = Array.fold_left (fun acc s -> acc * (s + 2)) 1 sizes in
+        pf fmt "  if (fwrite(outs[%d], sizeof(double), %d, fp) != %d) return 1;@,"
+          i len len)
+      plan.Plan.output_arrays;
+    pf fmt "  fclose(fp);@,  return 0;@,}@,";
+    Format.pp_close_box fmt ();
+    Format.pp_print_flush fmt ();
+    Ok (Buffer.contents buf)

@@ -1,0 +1,529 @@
+module Grid = Repro_grid.Grid
+module Json = Repro_runtime.Json
+open Repro_core
+module Pipeline = Repro_ir.Pipeline
+module Func = Repro_ir.Func
+module Sizeexpr = Repro_ir.Sizeexpr
+
+(* ------------------------------------------------------------------ *)
+(* Difference metrics                                                   *)
+
+let ulps a b =
+  if a = b then 0.0
+  else if Float.is_nan a || Float.is_nan b then infinity
+  else
+    (* map bit patterns to an order-preserving integer line, so the ULP
+       distance is a plain subtraction even across zero *)
+    let key x =
+      let bits = Int64.bits_of_float x in
+      if Int64.compare bits 0L >= 0 then bits else Int64.sub Int64.min_int bits
+    in
+    Int64.to_float (Int64.abs (Int64.sub (key a) (key b)))
+
+type diff = { max_abs : float; max_ulp : float; worst : int }
+
+let no_diff = { max_abs = 0.0; max_ulp = 0.0; worst = -1 }
+
+let diff_acc d i a b =
+  let abs = Float.abs (a -. b) in
+  let abs = if Float.is_nan abs then infinity else abs in
+  if abs > d.max_abs then { max_abs = abs; max_ulp = ulps a b; worst = i }
+  else d
+
+let grid_diff (a : Grid.t) (b : Grid.t) =
+  if Grid.extents a <> Grid.extents b then
+    invalid_arg "Conformance.grid_diff: extents differ";
+  let ba = a.Grid.buf and bb = b.Grid.buf in
+  let d = ref no_diff in
+  for i = 0 to Repro_grid.Buf.len ba - 1 do
+    d := diff_acc !d i (Repro_grid.Buf.get ba i) (Repro_grid.Buf.get bb i)
+  done;
+  !d
+
+(* ------------------------------------------------------------------ *)
+(* Tolerance budgets (documented in TESTING.md)                         *)
+
+type budgets = { vs_plan : float; vs_handopt : float; vs_c : float }
+
+let default_budgets = { vs_plan = 1e-11; vs_handopt = 1e-9; vs_c = 1e-10 }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic input fill — the OCaml twin of the C driver's
+   [fill_val] (see C_emit.driver_to_string): FNV-1a over (input index,
+   multi-index), folded to [-0.5, 0.5) with a 20-bit mantissa so the
+   double value is exact on both sides. *)
+
+let fill_val ~input idx =
+  let step h x = Int.logxor h x * 16777619 land 0xFFFFFFFF in
+  let h = step 0x811c9dc5 input in
+  let h = Array.fold_left step h idx in
+  (float_of_int (h land 0xFFFFF) /. 1048576.0) -. 0.5
+
+(* ------------------------------------------------------------------ *)
+(* Stage drilldown: on a variant mismatch, re-run the cycle pipeline
+   truncated after each stage (in topological order) under both plans on
+   the same inputs, and report the first stage whose values diverge. *)
+
+let with_output pipe id =
+  let b = Pipeline.builder (Pipeline.name pipe) in
+  Array.iter
+    (fun (f : Func.t) ->
+      ignore (Pipeline.add b (fun ~id ->
+          assert (id = f.Func.id);
+          f)))
+    (Pipeline.funcs pipe);
+  Pipeline.finish b ~outputs:[ Pipeline.func pipe id ]
+
+let stage_grid pipe ~n id =
+  let f = Pipeline.func pipe id in
+  Grid.create
+    (Array.map (fun s -> Sizeexpr.eval ~n s + 2) f.Func.sizes)
+
+let drilldown cfg ~n ~opts ~v ~f ~budget =
+  let pipe = Cycle.build cfg in
+  let params = Cycle.params cfg ~n in
+  let vin = Cycle.input_v pipe and fin = Cycle.input_f pipe in
+  let nfuncs = Array.length (Pipeline.funcs pipe) in
+  let run_stage id opts =
+    let truncated = with_output pipe id in
+    let plan = Plan.build truncated ~opts ~n ~params in
+    let g = stage_grid pipe ~n id in
+    Exec.with_runtime (fun rt ->
+        Exec.run plan rt ~inputs:[ (vin, v); (fin, f) ] ~outputs:[ (id, g) ]);
+    g
+  in
+  let rec scan id =
+    if id >= nfuncs then None
+    else
+      let fn = Pipeline.func pipe id in
+      if Func.is_input fn then scan (id + 1)
+      else
+        let d = grid_diff (run_stage id Options.naive) (run_stage id opts) in
+        if d.max_abs > budget then Some (fn.Func.name, d.max_abs)
+        else scan (id + 1)
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle                                                  *)
+
+type pair = {
+  candidate : string;
+  domains : int;
+  max_abs : float;
+  max_ulp : float;
+  worst_cycle : int;  (* 1-based; 0 when no difference at all *)
+  budget : float;
+  pass : bool;
+  first_bad_stage : (string * float) option;
+}
+
+type case = {
+  bench : string;
+  n : int;
+  cycles : int;
+  pairs : pair list;
+}
+
+let case_pass c = List.for_all (fun p -> p.pass) c.pairs
+
+(* Lockstep comparison: every candidate cycle starts from the
+   {e reference} iterate of the previous cycle, so each comparison
+   isolates exactly one cycle's worth of divergence on identical
+   inputs — differences cannot compound across cycles. *)
+let lockstep ~refs ~f ~cycles step =
+  let worst = ref no_diff and worst_cycle = ref 0 in
+  for c = 1 to cycles do
+    let out = Grid.create (Grid.extents refs.(0)) in
+    step ~v:refs.(c - 1) ~f ~out;
+    let d = grid_diff refs.(c) out in
+    if d.max_abs > !worst.max_abs then begin
+      worst := d;
+      worst_cycle := c
+    end
+  done;
+  (!worst, !worst_cycle)
+
+let plan_variants =
+  [ ("opt", Options.opt);
+    ("opt+", Options.opt_plus);
+    ("dtile-opt+", Options.dtile_opt_plus) ]
+
+let oracle_case ?(budgets = default_budgets) ?(quick = false) cfg ~n ~cycles
+    () =
+  let dims = cfg.Cycle.dims in
+  let prob = Problem.poisson ~dims ~n in
+  let f = prob.Problem.f in
+  (* reference: the naive plan on one domain, iterates v0..v_cycles *)
+  let refs = Array.make (cycles + 1) prob.Problem.v in
+  Exec.with_runtime (fun rt ->
+      let step =
+        Solver.plan_stepper (Solver.polymg_plan cfg ~n ~opts:Options.naive) ~rt
+      in
+      for c = 1 to cycles do
+        let out = Grid.create (Grid.extents prob.Problem.v) in
+        step ~v:refs.(c - 1) ~f ~out;
+        refs.(c) <- out
+      done);
+  let pair ?(drill = None) candidate ~domains ~budget mk_step =
+    let d, wc =
+      Exec.with_runtime ~domains (fun rt ->
+          lockstep ~refs ~f ~cycles (mk_step rt))
+    in
+    let pass = d.max_abs <= budget in
+    let first_bad_stage =
+      match (pass, drill) with
+      | false, Some opts ->
+        drilldown cfg ~n ~opts ~v:refs.(Int.max 0 (wc - 1)) ~f ~budget
+      | _ -> None
+    in
+    { candidate; domains; max_abs = d.max_abs; max_ulp = d.max_ulp;
+      worst_cycle = wc; budget; pass; first_bad_stage }
+  in
+  let domain_list = if quick then [ 1 ] else [ 1; 4 ] in
+  let variant_pairs =
+    List.concat_map
+      (fun (vname, opts) ->
+        List.map
+          (fun domains ->
+            pair vname ~drill:(Some opts) ~domains ~budget:budgets.vs_plan
+              (fun rt ->
+                Solver.plan_stepper (Solver.polymg_plan cfg ~n ~opts) ~rt))
+          domain_list)
+      plan_variants
+  in
+  (* the naive plan itself on 4 domains: same schedule, partitioned *)
+  let naive_domains =
+    if quick then []
+    else
+      [ pair "naive" ~domains:4 ~budget:budgets.vs_plan (fun rt ->
+            Solver.plan_stepper
+              (Solver.polymg_plan cfg ~n ~opts:Options.naive)
+              ~rt) ]
+  in
+  let handopt_pairs =
+    let smoothings =
+      if quick then [ ("handopt", Handopt.Plain) ]
+      else
+        [ ("handopt", Handopt.Plain);
+          ("handopt+pluto", Handopt.Pluto { sigma = 2 }) ]
+    in
+    List.map
+      (fun (name, smoothing) ->
+        pair name ~domains:1 ~budget:budgets.vs_handopt (fun rt ->
+            Handopt.stepper
+              (Handopt.create cfg ~n ~par:rt.Exec.par ~smoothing ())))
+      smoothings
+  in
+  { bench = Cycle.bench_name cfg;
+    n;
+    cycles;
+    pairs = variant_pairs @ naive_domains @ handopt_pairs }
+
+let campaign_matrix ~quick =
+  let smoothings = if quick then [ (4, 4, 4) ] else [ (4, 4, 4); (10, 0, 0) ] in
+  let shapes = if quick then [ Cycle.V ] else [ Cycle.V; Cycle.W ] in
+  List.concat_map
+    (fun dims ->
+      List.concat_map
+        (fun shape ->
+          List.map
+            (fun sm ->
+              (Cycle.default ~dims ~shape ~smoothing:sm,
+               if dims = 2 then 32 else 16))
+            smoothings)
+        shapes)
+    [ 2; 3 ]
+
+let oracle_campaign ?(budgets = default_budgets) ?(quick = false) () =
+  List.map
+    (fun (cfg, n) -> oracle_case ~budgets ~quick cfg ~n ~cycles:3 ())
+    (campaign_matrix ~quick)
+
+(* ------------------------------------------------------------------ *)
+(* Emitted-C run-equivalence                                            *)
+
+type c_verdict =
+  | C_ok of {
+      compiler : string;
+      bit_identical : bool;
+      max_abs : float;
+      max_ulp : float;
+    }
+  | C_fail of { reason : string; max_abs : float; max_ulp : float }
+  | C_skip of string
+
+let cc_available () =
+  let ok c = Sys.command (c ^ " --version >/dev/null 2>&1") = 0 in
+  if ok "gcc" then Some "gcc" else if ok "cc" then Some "cc" else None
+
+let read_doubles path count =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let bytes = Bytes.create (8 * count) in
+      really_input ic bytes 0 (8 * count);
+      Array.init count (fun i ->
+          Int64.float_of_bits (Bytes.get_int64_le bytes (8 * i))))
+
+let with_temp_files f =
+  let src = Filename.temp_file "polymg_conform" ".c" in
+  let exe = Filename.temp_file "polymg_conform" ".exe" in
+  let out = Filename.temp_file "polymg_conform" ".bin" in
+  let log = Filename.temp_file "polymg_conform" ".log" in
+  (* POLYMG_CONFORM_KEEP leaves the generated source/binary/log behind
+     for postmortems on a C-equivalence failure *)
+  let keep = Sys.getenv_opt "POLYMG_CONFORM_KEEP" <> None in
+  Fun.protect
+    ~finally:(fun () ->
+      if keep then Printf.eprintf "[conform] kept artifacts: %s %s %s %s\n%!" src exe out log
+      else
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ src; exe; out; log ])
+    (fun () -> f ~src ~exe ~out ~log)
+
+let first_log_line log =
+  try
+    let ic = open_in log in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> try input_line ic with End_of_file -> "")
+  with Sys_error _ -> ""
+
+let engine_reference (plan : Plan.t) =
+  let n = plan.Plan.n in
+  let pipe = plan.Plan.pipeline in
+  let grid_of fid =
+    let fn = Pipeline.func pipe fid in
+    Grid.create (Array.map (fun s -> Sizeexpr.eval ~n s + 2) fn.Func.sizes)
+  in
+  let inputs =
+    Array.to_list
+      (Array.mapi
+         (fun i fid ->
+           let g = grid_of fid in
+           Grid.fill_interior g ~f:(fill_val ~input:i);
+           (fid, g))
+         plan.Plan.inputs)
+  in
+  let outputs = List.map (fun (fid, _) -> (fid, grid_of fid)) plan.Plan.output_arrays in
+  Exec.with_runtime (fun rt -> Exec.run plan rt ~inputs ~outputs);
+  outputs
+
+let c_equivalence ?(budget = default_budgets.vs_c) (plan : Plan.t) =
+  match C_emit.driver_to_string plan with
+  | Error e -> C_skip ("plan not renderable as a complete C program: " ^ e)
+  | Ok source -> (
+    match cc_available () with
+    | None -> C_skip "no C compiler found (tried gcc, cc)"
+    | Some cc ->
+      with_temp_files (fun ~src ~exe ~out ~log ->
+          let oc = open_out src in
+          output_string oc source;
+          close_out oc;
+          let compile =
+            Printf.sprintf "%s -O2 -std=c99 -ffp-contract=off -o %s %s -lm > %s 2>&1"
+              cc (Filename.quote exe) (Filename.quote src) (Filename.quote log)
+          in
+          if Sys.command compile <> 0 then
+            C_fail
+              { reason =
+                  Printf.sprintf "%s failed to compile the driver: %s" cc
+                    (first_log_line log);
+                max_abs = nan;
+                max_ulp = nan }
+          else
+            let run =
+              Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe)
+                (Filename.quote out) (Filename.quote log)
+            in
+            let rc = Sys.command run in
+            if rc <> 0 then
+              C_fail
+                { reason = Printf.sprintf "driver exited with code %d" rc;
+                  max_abs = nan;
+                  max_ulp = nan }
+            else begin
+              let outputs = engine_reference plan in
+              let total =
+                List.fold_left
+                  (fun acc (_, g) -> acc + Grid.points g)
+                  0 outputs
+              in
+              let c_vals = read_doubles out total in
+              let d = ref no_diff and base = ref 0 in
+              List.iter
+                (fun (_, g) ->
+                  let buf = g.Grid.buf in
+                  let len = Repro_grid.Buf.len buf in
+                  for i = 0 to len - 1 do
+                    d :=
+                      diff_acc !d (!base + i) (Repro_grid.Buf.get buf i)
+                        c_vals.(!base + i)
+                  done;
+                  base := !base + len)
+                outputs;
+              if !d.max_abs <= budget then
+                C_ok
+                  { compiler = cc;
+                    bit_identical = !d.max_abs = 0.0;
+                    max_abs = !d.max_abs;
+                    max_ulp = !d.max_ulp }
+              else
+                C_fail
+                  { reason =
+                      Printf.sprintf
+                        "C output differs from the engine beyond %.1e" budget;
+                    max_abs = !d.max_abs;
+                    max_ulp = !d.max_ulp }
+            end))
+
+let c_campaign ?(budget = default_budgets.vs_c) ?(quick = false) () =
+  let variants =
+    if quick then [ ("naive", Options.naive); ("opt+", Options.opt_plus) ]
+    else
+      ("naive", Options.naive)
+      :: ("dtile-opt+", Options.dtile_opt_plus)
+      :: plan_variants
+  in
+  List.concat_map
+    (fun (cfg, n) ->
+      List.map
+        (fun (vname, opts) ->
+          let plan = Solver.polymg_plan cfg ~n ~opts in
+          (Printf.sprintf "%s/%s" (Cycle.bench_name cfg) vname,
+           c_equivalence ~budget plan))
+        variants)
+    (campaign_matrix ~quick)
+
+let c_verdict_pass = function
+  | C_ok _ | C_skip _ -> true
+  | C_fail _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Method-of-manufactured-solutions convergence order                   *)
+
+type mms = {
+  m_dims : int;
+  m_samples : (int * float) list;
+  m_order : float;
+}
+
+(* 60 cycles: at the campaign's largest grids the V-cycle contraction
+   is ~0.67/cycle, so the algebraic error lands around 1e-10 — far
+   below the ~1e-4 discretization error whose decay we are measuring. *)
+let mms_study ?(opts = Options.opt_plus) ?(cycles = 60) ~dims () =
+  (* four levels in both ranks (coarsest interior stays valid down to
+     n = 16): a shallower 3D hierarchy contracts at only ~0.9/cycle and
+     never pushes the algebraic error below the discretization error,
+     and an n = 8 sample is pre-asymptotic (observed order ~2.16) *)
+  let levels = 4 in
+  let ns = [ 16; 32; 64 ] in
+  let cfg =
+    { (Cycle.default ~dims ~shape:Cycle.V ~smoothing:(4, 4, 4)) with
+      Cycle.levels }
+  in
+  let solve ~n =
+    (Solver.solve cfg ~n ~opts ~cycles ~residuals:false ()).Solver.v
+  in
+  let exact ~n =
+    let p = Problem.poisson ~dims ~n in
+    p.Problem.exact
+  in
+  let samples = Verify.convergence_study ~solve ~exact ~ns in
+  { m_dims = dims; m_samples = samples; m_order = Verify.observed_order samples }
+
+let mms_pass m = Float.abs (m.m_order -. 2.0) <= 0.1
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+
+let json_of_pair p =
+  Json.Obj
+    [ ("candidate", Json.Str p.candidate);
+      ("domains", Json.num p.domains);
+      ("max_abs", Json.Num p.max_abs);
+      ("max_ulp", Json.Num p.max_ulp);
+      ("worst_cycle", Json.num p.worst_cycle);
+      ("budget", Json.Num p.budget);
+      ("pass", Json.Bool p.pass);
+      ( "first_bad_stage",
+        match p.first_bad_stage with
+        | None -> Json.Null
+        | Some (stage, abs) ->
+          Json.Obj [ ("stage", Json.Str stage); ("max_abs", Json.Num abs) ] )
+    ]
+
+let json_of_case c =
+  Json.Obj
+    [ ("bench", Json.Str c.bench);
+      ("n", Json.num c.n);
+      ("cycles", Json.num c.cycles);
+      ("pass", Json.Bool (case_pass c));
+      ("pairs", Json.Arr (List.map json_of_pair c.pairs)) ]
+
+let json_of_c_verdict (name, v) =
+  let fields =
+    match v with
+    | C_ok { compiler; bit_identical; max_abs; max_ulp } ->
+      [ ("status", Json.Str "ok");
+        ("compiler", Json.Str compiler);
+        ("bit_identical", Json.Bool bit_identical);
+        ("max_abs", Json.Num max_abs);
+        ("max_ulp", Json.Num max_ulp) ]
+    | C_fail { reason; max_abs; max_ulp } ->
+      [ ("status", Json.Str "fail");
+        ("reason", Json.Str reason);
+        ("max_abs", Json.Num max_abs);
+        ("max_ulp", Json.Num max_ulp) ]
+    | C_skip reason ->
+      [ ("status", Json.Str "skip"); ("reason", Json.Str reason) ]
+  in
+  Json.Obj (("case", Json.Str name) :: fields)
+
+let json_of_mms m =
+  Json.Obj
+    [ ("dims", Json.num m.m_dims);
+      ("order", Json.Num m.m_order);
+      ("pass", Json.Bool (mms_pass m));
+      ( "samples",
+        Json.Arr
+          (List.map
+             (fun (n, e) ->
+               Json.Obj [ ("n", Json.num n); ("error_l2", Json.Num e) ])
+             m.m_samples) ) ]
+
+let pp_pair fmt p =
+  Format.fprintf fmt "%-18s dom=%d  max|Δ|=%.3e  ulp=%.1e  cycle=%d  %s" p.candidate
+    p.domains p.max_abs p.max_ulp p.worst_cycle
+    (if p.pass then "ok" else Printf.sprintf "FAIL (budget %.1e)" p.budget);
+  match p.first_bad_stage with
+  | Some (stage, abs) ->
+    Format.fprintf fmt "@,    first diverging stage: %s (max|Δ|=%.3e)" stage abs
+  | None -> ()
+
+let pp_case fmt c =
+  Format.fprintf fmt "@[<v2>%s (n=%d, %d cycles): %s@,%a@]" c.bench c.n
+    c.cycles
+    (if case_pass c then "PASS" else "FAIL")
+    (Format.pp_print_list pp_pair)
+    c.pairs
+
+let pp_c_verdict fmt (name, v) =
+  match v with
+  | C_ok { compiler; bit_identical; max_abs; max_ulp } ->
+    Format.fprintf fmt "%-28s ok (%s%s, max|Δ|=%.3e, ulp=%.1e)" name compiler
+      (if bit_identical then ", bit-identical" else "")
+      max_abs max_ulp
+  | C_fail { reason; max_abs; _ } ->
+    Format.fprintf fmt "%-28s FAIL: %s (max|Δ|=%.3e)" name reason max_abs
+  | C_skip reason -> Format.fprintf fmt "%-28s skip: %s" name reason
+
+let pp_mms fmt m =
+  Format.fprintf fmt "@[<v2>MMS %dD: observed order %.3f (%s)@,%a@]" m.m_dims
+    m.m_order
+    (if mms_pass m then "ok" else "FAIL, want 2.0 +/- 0.1")
+    (Format.pp_print_list (fun fmt (n, e) ->
+         Format.fprintf fmt "n=%-3d  error_l2=%.6e" n e))
+    m.m_samples

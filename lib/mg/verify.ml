@@ -1,12 +1,28 @@
 module Grid = Repro_grid.Grid
 
+(* Interior sizes per dimension.  Grids carry one ghost layer per side,
+   so the interior along dim k is [1 .. extents.(k) - 2]; rectangular
+   interiors are supported throughout (a grid with any extent < 3 has no
+   interior and is rejected loudly rather than silently looped over). *)
+let interior_sizes g =
+  let ext = Grid.extents g in
+  Array.iter
+    (fun e ->
+      if e < 3 then
+        invalid_arg
+          (Printf.sprintf "Verify: extent %d leaves no interior" e))
+    ext;
+  Array.map (fun e -> e - 2) ext
+
 let apply_poisson ~n ~v ~out =
   let invhsq = float_of_int (n * n) in
+  if Grid.extents v <> Grid.extents out then
+    invalid_arg "Verify.apply_poisson: v and out extents differ";
+  let sz = interior_sizes v in
   match Grid.dims v with
   | 2 ->
-    let sz = Grid.interior_size v in
-    for i = 1 to sz do
-      for j = 1 to sz do
+    for i = 1 to sz.(0) do
+      for j = 1 to sz.(1) do
         let c = Grid.get2 v i j in
         let s =
           (4.0 *. c) -. Grid.get2 v (i - 1) j -. Grid.get2 v (i + 1) j
@@ -16,10 +32,9 @@ let apply_poisson ~n ~v ~out =
       done
     done
   | 3 ->
-    let sz = Grid.interior_size v in
-    for i = 1 to sz do
-      for j = 1 to sz do
-        for k = 1 to sz do
+    for i = 1 to sz.(0) do
+      for j = 1 to sz.(1) do
+        for k = 1 to sz.(2) do
           let c = Grid.get3 v i j k in
           let s =
             (6.0 *. c) -. Grid.get3 v (i - 1) j k -. Grid.get3 v (i + 1) j k
@@ -49,3 +64,30 @@ let error_l2 ~v ~exact =
       sum := !sum +. (e *. e);
       incr count);
   if !count = 0 then 0.0 else sqrt (!sum /. float_of_int !count)
+
+(* --- Method-of-manufactured-solutions convergence verification --- *)
+
+let convergence_study ~solve ~exact ~ns =
+  List.map
+    (fun n ->
+      let v = solve ~n in
+      (n, error_l2 ~v ~exact:(exact ~n)))
+    ns
+
+let pairwise_orders samples =
+  let rec go = function
+    | (nc, ec) :: ((nf, ef) :: _ as rest) ->
+      if nf <= nc then invalid_arg "Verify: ns must be strictly increasing";
+      if ec <= 0.0 || ef <= 0.0 then
+        invalid_arg "Verify: non-positive error in convergence study";
+      (* e ∝ h^p = n^{-p}  ⇒  p = log(e_c/e_f) / log(n_f/n_c) *)
+      (log (ec /. ef) /. log (float_of_int nf /. float_of_int nc)) :: go rest
+    | _ -> []
+  in
+  go samples
+
+let observed_order samples =
+  match pairwise_orders samples with
+  | [] -> invalid_arg "Verify.observed_order: need at least two samples"
+  | orders ->
+    List.fold_left ( +. ) 0.0 orders /. float_of_int (List.length orders)

@@ -107,8 +107,51 @@ let stage_gen =
              (float_range (-1.0) 1.0));
         (1, map2 (fun p s -> G_chain (p, s)) (int_range 0 10) (int_range 1 4)) ])
 
+let print_stage = function
+  | G_stencil (p, w, f) ->
+    Printf.sprintf "G_stencil (%d, [|%s|], %g)" p
+      (String.concat "; "
+         (Array.to_list (Array.map (Printf.sprintf "%g") w)))
+      f
+  | G_restrict p -> Printf.sprintf "G_restrict %d" p
+  | G_interp p -> Printf.sprintf "G_interp %d" p
+  | G_combine (p, q, c) -> Printf.sprintf "G_combine (%d, %d, %g)" p q c
+  | G_chain (p, s) -> Printf.sprintf "G_chain (%d, %d)" p s
+
+let print_stages stages =
+  "[ " ^ String.concat ";\n  " (List.map print_stage stages) ^ " ]"
+
+(* Per-stage shrinker: pull producers to 0, zero weights one at a time,
+   simplify coefficients and chain lengths.  Every step moves strictly
+   toward a fixed point, so combined with [Shrink.list] (which drops
+   stages) counterexamples arrive as short lists of trivial stages. *)
+let shrink_stage st yield =
+  match st with
+  | G_stencil (p, w, f) ->
+    if p <> 0 then yield (G_stencil (0, w, f));
+    Array.iteri
+      (fun i x ->
+        if x <> 0.0 then begin
+          let w' = Array.copy w in
+          w'.(i) <- 0.0;
+          yield (G_stencil (p, w', f))
+        end)
+      w;
+    if f <> 1.0 then yield (G_stencil (p, w, 1.0))
+  | G_restrict p -> if p <> 0 then yield (G_restrict 0)
+  | G_interp p -> if p <> 0 then yield (G_interp 0)
+  | G_combine (p, q, c) ->
+    if p <> 0 then yield (G_combine (0, q, c));
+    if q <> 0 then yield (G_combine (p, 0, c));
+    if c <> 0.0 then yield (G_combine (p, q, 0.0))
+  | G_chain (p, s) ->
+    if p <> 0 then yield (G_chain (0, s));
+    if s <> 1 then yield (G_chain (p, 1))
+
 let pipelines_arb =
-  QCheck.make QCheck.Gen.(list_size (int_range 1 12) stage_gen)
+  QCheck.make ~print:print_stages
+    ~shrink:(QCheck.Shrink.list ~shrink:shrink_stage)
+    QCheck.Gen.(list_size (int_range 1 12) stage_gen)
 
 let build_plan (p, _in_id, _out_id) ~opts ~n =
   Plan.build p ~opts ~n ~params:(fun s -> invalid_arg s)

@@ -61,32 +61,32 @@ let test_emit_all_benchmarks () =
       (2, Cycle.W, (4, 4, 4)); (3, Cycle.V, (4, 4, 4));
       (3, Cycle.W, (10, 0, 0)) ]
 
-let gcc_available =
-  lazy (Sys.command "which gcc > /dev/null 2>&1" = 0)
-
-let test_emitted_c_compiles () =
-  if not (Lazy.force gcc_available) then ()
-  else
+(* Compile-and-run promotion of the old -fsyntax-only check: the
+   emitted-C driver is compiled (gcc, falling back to cc), executed and
+   diffed against the engine through the conformance harness.  Skips
+   visibly when no C compiler exists. *)
+let test_emitted_c_runs () =
+  match Conformance.cc_available () with
+  | None ->
+    Printf.printf "compile-and-run skipped: no C compiler (tried gcc, cc)\n%!";
+    Alcotest.skip ()
+  | Some _ ->
     List.iter
       (fun (dims, shape, sm, opts, n) ->
         let cfg = Cycle.default ~dims ~shape ~smoothing:sm in
         let plan =
           Plan.build (Cycle.build cfg) ~opts ~n ~params:(Cycle.params cfg ~n)
         in
-        let file = Filename.temp_file "polymg" ".c" in
-        let oc = open_out file in
-        output_string oc (C_emit.to_string plan);
-        close_out oc;
-        let rc =
-          Sys.command
-            (Printf.sprintf "gcc -fsyntax-only -std=c99 %s 2>/dev/null"
-               (Filename.quote file))
+        let what =
+          Printf.sprintf "%s %s computes what the engine computes"
+            (Cycle.bench_name cfg) (Options.name opts)
         in
-        Sys.remove file;
-        Alcotest.(check int)
-          (Printf.sprintf "%s %s compiles" (Cycle.bench_name cfg)
-             (Options.name opts))
-          0 rc)
+        match Conformance.c_equivalence plan with
+        | Conformance.C_ok _ -> ()
+        | Conformance.C_skip reason -> Alcotest.failf "%s: unexpected skip: %s" what reason
+        | Conformance.C_fail { reason; max_abs; max_ulp } ->
+          Alcotest.failf "%s: %s (max_abs=%.3e, max_ulp=%.1e)" what reason
+            max_abs max_ulp)
       [ (2, Cycle.V, (4, 4, 4), Options.opt_plus, 32);
         (2, Cycle.W, (10, 0, 0), Options.opt, 32);
         (3, Cycle.V, (4, 4, 4), Options.opt_plus, 16);
@@ -107,4 +107,5 @@ let () =
           Alcotest.test_case "line counts" `Quick test_line_counts_ordering;
           Alcotest.test_case "all benchmarks emit" `Quick test_emit_all_benchmarks;
           Alcotest.test_case "parity cases" `Quick test_parity_cases_emitted;
-          Alcotest.test_case "gcc syntax check" `Quick test_emitted_c_compiles ] ) ]
+          Alcotest.test_case "compile and run vs engine" `Quick
+            test_emitted_c_runs ] ) ]

@@ -228,6 +228,93 @@ let test_stage_level_injection () =
   Alcotest.(check bool) "stage-level faults detected" true
     (List.exists (fun e -> is_nan_fault e.Guard.fault) r.Guard.events)
 
+(* -- primary-retry policy: bounded same-plan retries with backoff ------- *)
+
+(* Transient faults (every other attempt) are absorbed by a single
+   primary retry: the solve never touches the fallback, and the retry
+   budget demonstrably resets across accepted cycles. *)
+let test_primary_retry_recovers () =
+  let r =
+    guarded_solve ~wrap:(nan_every 2)
+      ~policy:
+        { Guard.default_policy with
+          Guard.tol = Some 1e-8;
+          Guard.max_cycles = 60;
+          Guard.primary_retries = 1 }
+      ()
+  in
+  check_converged "primary retry" r;
+  Alcotest.(check bool) "several faults seen" true
+    (List.length r.Guard.events >= 2);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "every fault retried on primary"
+        (Guard.action_name Guard.Primary_retry)
+        (Guard.action_name e.Guard.action))
+    r.Guard.events;
+  Alcotest.(check int) "no fallback cycles" 0 r.Guard.fallback_cycles;
+  Alcotest.(check int) "fallback never switched in" 0
+    (counter "guard.fallback_switches");
+  Alcotest.(check int) "retries counted"
+    (List.length r.Guard.events)
+    (counter "govern.primary_retries")
+
+(* A persistently faulting primary exhausts its retry budget, falls back,
+   and is quarantined once max_primary_faults is reached — in exactly
+   that order. *)
+let test_retry_exhaustion_then_quarantine () =
+  let r =
+    guarded_solve ~wrap:(nan_every 1)
+      ~policy:
+        { Guard.default_policy with
+          Guard.tol = Some 1e-8;
+          Guard.max_cycles = 60;
+          Guard.primary_retries = 2 }
+      ()
+  in
+  check_converged "retry exhaustion" r;
+  (match r.Guard.events with
+  | e1 :: e2 :: e3 :: _ ->
+    Alcotest.(check bool) "two primary retries first" true
+      (e1.Guard.action = Guard.Primary_retry
+      && e2.Guard.action = Guard.Primary_retry);
+    Alcotest.(check bool) "then a fallback retry" true
+      (e3.Guard.action = Guard.Fallback_retry)
+  | _ -> Alcotest.fail "expected at least three fault events");
+  Alcotest.(check bool) "eventually quarantined" true
+    (List.exists
+       (fun e -> e.Guard.action = Guard.Quarantined_primary)
+       r.Guard.events);
+  Alcotest.(check bool) "retry counter moved" true
+    (counter "govern.primary_retries" >= 4)
+
+(* retry_backoff = 0.05 with two retries in one cycle must sleep at
+   least 0.05 + 0.10 seconds before giving up. *)
+let test_retry_backoff_waits () =
+  let problem = Problem.poisson ~dims:2 ~n:16 in
+  let primary = nan_every 1 identity_stepper in
+  let t0 = Telemetry.now_ns () in
+  let r =
+    Guard.run
+      ~policy:
+        { Guard.default_policy with
+          Guard.primary_retries = 2;
+          Guard.retry_backoff = 0.05 }
+      ~primary ~problem ()
+  in
+  let elapsed_s = float_of_int (Telemetry.now_ns () - t0) /. 1e9 in
+  (match r.Guard.outcome with
+  | Guard.Faulted f -> Alcotest.(check bool) "nan fault" true (is_nan_fault f)
+  | o -> Alcotest.failf "outcome %s, expected faulted" (Guard.outcome_name o));
+  Alcotest.(check (list string)) "retry, retry, give up"
+    [ Guard.action_name Guard.Primary_retry;
+      Guard.action_name Guard.Primary_retry;
+      Guard.action_name Guard.Gave_up ]
+    (List.map (fun e -> Guard.action_name e.Guard.action) r.Guard.events);
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff slept (elapsed %.3fs >= 0.14s)" elapsed_s)
+    true (elapsed_s >= 0.14)
+
 (* Guard.solve convenience entry: poisoned pool + plan check + fallback. *)
 let test_guard_solve_entry () =
   let r =
@@ -266,6 +353,13 @@ let () =
             test_fault_on_fallback_gives_up;
           Alcotest.test_case "stagnation stops the solve" `Quick
             test_stagnation_stops ] );
+      ( "retry",
+        [ Alcotest.test_case "transient faults absorbed by primary retry"
+            `Quick test_primary_retry_recovers;
+          Alcotest.test_case "retry exhaustion falls back, then quarantines"
+            `Quick test_retry_exhaustion_then_quarantine;
+          Alcotest.test_case "exponential backoff sleeps between retries"
+            `Quick test_retry_backoff_waits ] );
       ( "regression",
         [ Alcotest.test_case "2D Poisson, fault every 4th cycle" `Quick
             test_poisson_2d_faults_every_k;

@@ -180,5 +180,4 @@ let () =
             test_reject_undersized_arrays;
           Alcotest.test_case "undersized scratch slots" `Quick
             test_reject_undersized_scratch ] );
-      ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_random_plans_safe ] ) ]
+      ( "properties", [ Qc_replay.to_alcotest prop_random_plans_safe ] ) ]

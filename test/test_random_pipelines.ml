@@ -81,5 +81,5 @@ let prop_deterministic =
 let () =
   Alcotest.run "random-pipelines"
     [ ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        Qc_replay.to_alcotest_list
           [ prop_variants_agree; prop_ladder_sound; prop_deterministic ] ) ]

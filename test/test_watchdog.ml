@@ -1,0 +1,100 @@
+(* Watchdog unit tests: deadline trips, once-per-arming trip counting,
+   stays-armed semantics, argument validation, and with_deadline's
+   disarm-on-raise — previously exercised only indirectly through the
+   pressure campaign. *)
+
+module Watchdog = Repro_runtime.Watchdog
+module Telemetry = Repro_runtime.Telemetry
+
+let counter name =
+  let counters = Telemetry.counters () in
+  match List.assoc_opt name counters with Some v -> v | None -> 0
+
+let spin_past ns =
+  let start = Telemetry.now_ns () in
+  while Telemetry.now_ns () - start <= ns do
+    ignore (Sys.opaque_identity (start + 1))
+  done
+
+let test_disarmed_noop () =
+  Watchdog.disarm ();
+  Alcotest.(check bool) "not armed" false (Watchdog.armed ());
+  (* must be callable any number of times without effect *)
+  for _ = 1 to 1000 do
+    Watchdog.check ()
+  done
+
+let test_trip () =
+  Watchdog.arm ~stage:"group0" ~budget_ns:1_000;
+  Alcotest.(check bool) "armed" true (Watchdog.armed ());
+  spin_past 1_000;
+  (match Watchdog.check () with
+  | () -> Alcotest.fail "check did not trip past the deadline"
+  | exception Watchdog.Deadline_exceeded { stage; elapsed_ns; budget_ns } ->
+    Alcotest.(check string) "stage label" "group0" stage;
+    Alcotest.(check int) "budget recorded" 1_000 budget_ns;
+    Alcotest.(check bool) "elapsed past budget" true (elapsed_ns > budget_ns));
+  Watchdog.disarm ()
+
+let test_trip_counted_once () =
+  let before = counter "govern.deadline_trips" in
+  Watchdog.arm ~stage:"group1" ~budget_ns:1_000;
+  spin_past 1_000;
+  (* every check past the deadline raises (the watchdog stays armed so
+     all workers at the tile boundary see the fault)... *)
+  for _ = 1 to 5 do
+    match Watchdog.check () with
+    | () -> Alcotest.fail "armed watchdog stopped tripping"
+    | exception Watchdog.Deadline_exceeded _ -> ()
+  done;
+  Alcotest.(check bool) "still armed after trips" true (Watchdog.armed ());
+  Watchdog.disarm ();
+  (* ...but the telemetry counter moves once per arming, not per check *)
+  Alcotest.(check int) "one trip counted" (before + 1)
+    (counter "govern.deadline_trips")
+
+let test_rearm_resets () =
+  Watchdog.arm ~stage:"a" ~budget_ns:1_000;
+  spin_past 1_000;
+  (* re-arming replaces the expired deadline with a generous one *)
+  Watchdog.arm ~stage:"b" ~budget_ns:10_000_000_000;
+  Watchdog.check ();
+  Watchdog.disarm ()
+
+let test_bad_budget_rejected () =
+  List.iter
+    (fun budget_ns ->
+      match Watchdog.arm ~stage:"x" ~budget_ns with
+      | () -> Alcotest.failf "budget %d accepted" budget_ns
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; -1_000_000 ]
+
+let test_with_deadline () =
+  let r = Watchdog.with_deadline ~stage:"ok" ~budget_ns:10_000_000_000 (fun () -> 42) in
+  Alcotest.(check int) "value returned" 42 r;
+  Alcotest.(check bool) "disarmed after return" false (Watchdog.armed ());
+  (match
+     Watchdog.with_deadline ~stage:"slow" ~budget_ns:1_000 (fun () ->
+         spin_past 1_000;
+         Watchdog.check ())
+   with
+  | () -> Alcotest.fail "deadline did not propagate"
+  | exception Watchdog.Deadline_exceeded { stage; _ } ->
+    Alcotest.(check string) "stage" "slow" stage);
+  Alcotest.(check bool) "disarmed after raise" false (Watchdog.armed ())
+
+let () =
+  Telemetry.set_enabled true;
+  Alcotest.run "watchdog"
+    [ ( "deadlines",
+        [ Alcotest.test_case "disarmed check is a no-op" `Quick
+            test_disarmed_noop;
+          Alcotest.test_case "trips past the deadline" `Quick test_trip;
+          Alcotest.test_case "trip counted once per arming" `Quick
+            test_trip_counted_once;
+          Alcotest.test_case "re-arming resets the clock" `Quick
+            test_rearm_resets;
+          Alcotest.test_case "non-positive budgets rejected" `Quick
+            test_bad_budget_rejected;
+          Alcotest.test_case "with_deadline disarms on return and raise"
+            `Quick test_with_deadline ] ) ]
