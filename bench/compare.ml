@@ -21,6 +21,12 @@
    the comparison checks optimization speedups rather than absolute
    machine speed — the right gate for CI runners of unknown hardware.
 
+   Keys present in only one input — e.g. counters or metric blocks
+   (flightrec.*, health) that a newer build emits and an older baseline
+   lacks, or vice versa — are tolerated: they get a stderr warning and a
+   MISSING/NEW row, never a failure, so schema growth can't break the
+   regression gate against an old baseline.
+
    Exit status: 0 when no key regressed, 1 when at least one key
    regressed, 2 on usage errors and unusable inputs — a missing or
    unreadable file, malformed JSON, an unknown schema, or a document
@@ -169,6 +175,8 @@ let () =
       match List.assoc_opt key new_rows with
       | None ->
         incr missing;
+        Printf.eprintf
+          "compare: warning: key %S only in old file (tolerated)\n" key;
         Printf.printf "| %s | %.4g | — | — | MISSING |\n" key t_old
       | Some t_new ->
         let ratio = if t_old > 0.0 then t_new /. t_old else nan in
@@ -191,6 +199,8 @@ let () =
     (fun (key, _) ->
       if not (List.mem_assoc key old_rows) then begin
         incr missing;
+        Printf.eprintf
+          "compare: warning: key %S only in new file (tolerated)\n" key;
         Printf.printf "| %s | — | … | — | NEW |\n" key
       end)
     new_rows;

@@ -1,7 +1,7 @@
 (* Conformance campaign: the executable proof that every variant of the
    compiler computes the same answer (the paper's §7 validation premise).
 
-   Four legs, each reported and JSON-exported:
+   Five legs, each reported and JSON-exported:
      - differential oracle: every plan variant and the hand-optimized
        baselines, run in lockstep against the naive plan over
        {2D,3D} x {V,W} x smoothing {4-4-4, 10-0-0} x domains {1,4},
@@ -15,7 +15,11 @@
      - injected-bug self-test: a stencil coefficient perturbed by 1e-3
        must be *caught* by the differential property, with a minimized,
        seed-replayable counterexample — the harness proves it can see
-       the bugs it exists to catch.
+       the bugs it exists to catch;
+     - convergence health: the observatory's (Repro_mg.Health) range
+       check on the standard Poisson configs — asymptotic convergence
+       factor within per-config bounds, residual decreasing, no level
+       stalled above round-off.
 
    Writes a polymg.conformance/1 JSON report with --out; --quick trims
    the matrix for CI smoke.  Runs in `dune runtest` (test/dune). *)
@@ -66,6 +70,60 @@ let run_mms ~quick =
   List.iter (fun m -> Format.printf "%a@." Conformance.pp_mms m) studies;
   leg "mms" (List.for_all Conformance.mms_pass studies);
   studies
+
+(* -- leg 5: convergence health ------------------------------------------ *)
+
+(* The observatory's range check on the standard Poisson configs: the
+   asymptotic convergence factor must sit in the expected band, the
+   residual must drop, and no level may stall above round-off.  Guards
+   both the numerics (a smoother or transfer regression shows up as a
+   worse factor long before it breaks the differential oracle's
+   lockstep) and the --health/--metrics surface built on it. *)
+let run_health ~quick =
+  Format.printf "@.== convergence health (factor bounds per config) ==@.";
+  (* measured asymptotic factors: V-2D ~0.67, W-2D ~0.22, V-3D ~0.28 —
+     bounds leave ~15%% headroom before the leg trips *)
+  let configs =
+    [ ("V-2D", 2, Cycle.V, 64, 0.75); ("W-2D", 2, Cycle.W, 64, 0.30) ]
+    @ (if quick then [] else [ ("V-3D", 3, Cycle.V, 32, 0.35) ])
+  in
+  let results =
+    List.map
+      (fun (name, dims, shape, n, max_factor) ->
+        let cfg = Cycle.default ~dims ~shape ~smoothing:(4, 4, 4) in
+        let r = Health.observe cfg ~n ~cycles:(if quick then 6 else 8) () in
+        let verdict = Health.healthy ~max_factor r in
+        (match verdict with
+         | Ok () ->
+           Format.printf
+             "%-6s n=%d: asymptotic factor %.3f (bound %.2f)  ok@." name n
+             r.Health.asymptotic_factor max_factor
+         | Error msgs ->
+           List.iter
+             (fun m -> Format.printf "%-6s n=%d: %s@." name n m)
+             msgs);
+        (name, n, max_factor, r, verdict))
+      configs
+  in
+  leg "health"
+    (List.for_all (fun (_, _, _, _, v) -> Result.is_ok v) results);
+  results
+
+let json_of_health (name, n, max_factor, r, verdict) =
+  Json.Obj
+    [ ("config", Json.Str name);
+      ("n", Json.num n);
+      ("max_factor", Json.Num max_factor);
+      ( "asymptotic_factor",
+        if Float.is_finite r.Health.asymptotic_factor then
+          Json.Num r.Health.asymptotic_factor
+        else Json.Null );
+      ("pass", Json.Bool (Result.is_ok verdict));
+      ( "violations",
+        Json.Arr
+          (match verdict with
+           | Ok () -> []
+           | Error msgs -> List.map (fun m -> Json.Str m) msgs) ) ]
 
 (* -- leg 4: injected-bug self-test -------------------------------------- *)
 
@@ -174,6 +232,7 @@ let () =
   let oracle = run_oracle ~quick:!quick in
   let c_verdicts = run_c ~quick:!quick in
   let mms = run_mms ~quick:!quick in
+  let health = run_health ~quick:!quick in
   let selftest = run_selftest ~quick:!quick in
   let doc =
     Json.Obj
@@ -183,6 +242,7 @@ let () =
         ( "c_equivalence",
           Json.Arr (List.map Conformance.json_of_c_verdict c_verdicts) );
         ("mms", Json.Arr (List.map Conformance.json_of_mms mms));
+        ("health", Json.Arr (List.map json_of_health health));
         ( "injected_bug",
           match selftest with
           | Some (shrink_steps, counterexample) ->

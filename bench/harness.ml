@@ -191,6 +191,34 @@ let assert_telemetry_noop () =
   if per_call > 100.0 then
     failwith "telemetry disabled path exceeds the no-op budget"
 
+(* Same discipline for the flight recorder: a guarded call site
+   ([if Flightrec.on () then Flightrec.emit ...]) with the recorder off
+   must cost one atomic load and a predictable branch — no event is
+   constructed, so the loop must not allocate either. *)
+let assert_flightrec_noop () =
+  let module Flightrec = Repro_runtime.Flightrec in
+  Flightrec.set_enabled false;
+  let iters = 5_000_000 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Telemetry.now_ns () in
+  for i = 1 to iters do
+    if Flightrec.on () then
+      Flightrec.emit (Flightrec.Checkpoint { cycle = i; residual = 0.0 })
+  done;
+  let per_call =
+    float_of_int (Telemetry.now_ns () - t0) /. float_of_int iters
+  in
+  let minor_words = Gc.minor_words () -. minor0 in
+  Printf.printf
+    "flightrec disabled-path: %.1f ns per guarded site (budget 100 ns), \
+     %.0f minor words for %d sites (budget 256)\n"
+    per_call minor_words iters;
+  if per_call > 100.0 then
+    failwith "flightrec disabled path exceeds the no-op budget";
+  (* slack for the Gc.minor_words probes themselves, not the loop *)
+  if minor_words > 256.0 then
+    failwith "flightrec disabled path allocates"
+
 (* Time every variant of one benchmark at one size; returns
    (variant, seconds-per-cycle) in order.  Variants are measured
    round-robin — one timed run each per round — so that machine noise

@@ -15,7 +15,7 @@ open Repro_core
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|table3|fig9|fig10|fig11a|fig11b|fig12|nas|scaling|ablation|quick|bechamel|telemetry] \
+     [all|table3|fig9|fig10|fig11a|fig11b|fig12|nas|scaling|ablation|quick|bechamel|telemetry|flightrec] \
      [--class B|C] [--cycles N] [--reps N]";
   exit 1
 
@@ -154,6 +154,56 @@ let main () =
        (overhead %+.1f%%)\n"
       n t_off t_on
       (100.0 *. ((t_on /. t_off) -. 1.0))
+  | "flightrec" ->
+    (* recorder-cost gate: the disabled path must be a no-op (and
+       allocation-free), and a recorder-on solve of the reference config
+       must stay within noise of recorder-off.  Writes one-record
+       polymg.bench/1 files for both so CI can hold the <2% line with
+       `compare.exe flightrec_off.json flightrec_on.json --threshold
+       0.02`. *)
+    Harness.assert_flightrec_noop ();
+    let module Flightrec = Repro_runtime.Flightrec in
+    let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(4, 4, 4) in
+    let n = 128 in
+    let problem = Problem.poisson_random ~dims:2 ~n ~seed:7 in
+    let rt = Exec.runtime () in
+    let stepper = Solver.polymg_stepper cfg ~n ~opts:Options.opt_plus ~rt in
+    let reps = max a.reps 3 in
+    Flightrec.set_enabled false;
+    (* throwaway pass: page in pool buffers so the off-timing is not
+       charged the cold start the on-timing then skips *)
+    ignore (Harness.time_stepper ~reps:1 ~cycles:a.cycles stepper problem);
+    let t_off = Harness.time_stepper ~reps ~cycles:a.cycles stepper problem in
+    Flightrec.set_enabled true;
+    let t_on = Harness.time_stepper ~reps ~cycles:a.cycles stepper problem in
+    Flightrec.set_enabled false;
+    Flightrec.reset ();
+    Exec.free_runtime rt;
+    Printf.printf
+      "V-2D-4-4-4 N=%d opt+: %.4f s/cycle recorder off, %.4f s/cycle on \
+       (overhead %+.1f%%)\n"
+      n t_off t_on
+      (100.0 *. ((t_on /. t_off) -. 1.0));
+    let write path seconds =
+      let doc =
+        Repro_runtime.Json.Obj
+          [ ("schema", Repro_runtime.Json.Str "polymg.bench/1");
+            ( "records",
+              Repro_runtime.Json.Arr
+                [ Harness.record_json ~bench:(Cycle.bench_name cfg) ~n
+                    ~dims:2 ~domains:1 ~vname:"opt+" ~seconds ~counters:[]
+                ] ) ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Repro_runtime.Json.to_channel oc doc;
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+    in
+    write "flightrec_off.json" t_off;
+    write "flightrec_on.json" t_on
   | "all" ->
     header ();
     Tables.table3 ~cycles:a.cycles ~reps:1 ();

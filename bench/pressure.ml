@@ -21,6 +21,14 @@
    a one-shot transient crash with primary_retries=1 must recover by
    retrying the primary, never touching the fallback.
 
+   With --incident-dir DIR the flight recorder runs during the anomalous
+   cases and each asserts its incident trail: forced demotions must dump
+   a "demotion" report, the under-floor budget a "budget-infeasible"
+   one, the hopeless deadline a "deadline" one, and a new
+   retry-exhaustion case (persistent crash, bounded retries, no
+   fallback) a "crash" report whose action is "gave up" — all parseable,
+   polymg.incident/1, naming the plan digest and event tail.
+
    Writes a polymg.pressure/1 JSON report with --out; --quick trims the
    config list for CI smoke.  Runs in `dune runtest` (test/dune). *)
 
@@ -29,9 +37,87 @@ open Repro_core
 module Grid = Repro_grid.Grid
 module Buf = Repro_grid.Buf
 module Telemetry = Repro_runtime.Telemetry
+module Flightrec = Repro_runtime.Flightrec
 module Json = Repro_runtime.Json
 
 let tol = 1e-8
+
+(* -- incident-trail plumbing --------------------------------------------- *)
+
+let incident_root : string option ref = ref None
+
+(* Arm the recorder into DIR/<sub> for one case; [None] when incidents
+   are not being collected. *)
+let arm_flightrec sub =
+  match !incident_root with
+  | None -> None
+  | Some root ->
+    let dir = Filename.concat root sub in
+    Flightrec.reset ();
+    Flightrec.set_enabled true;
+    Flightrec.set_incident_dir (Some dir);
+    Some dir
+
+let disarm_flightrec () = Flightrec.set_enabled false
+let jmem k d = Option.value (Json.member k d) ~default:Json.Null
+
+(* At least one parseable polymg.incident/1 report of [kind] under
+   [dir], with a plan digest, a non-empty event tail, and (when
+   [need_cycle]) the triggering cycle; [detail_pred] adds a per-kind
+   check on the detail block.  Returns violations (empty = pass). *)
+let check_incident ~dir ~kind ?(need_cycle = false)
+    ?(detail_pred = fun _ -> true) () =
+  match Sys.readdir dir with
+  | exception Sys_error m -> [ Printf.sprintf "cannot read %s: %s" dir m ]
+  | entries ->
+    let reports =
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    if reports = [] then [ Printf.sprintf "no incident report in %s" dir ]
+    else begin
+      let problems = ref [] and matched = ref false in
+      List.iter
+        (fun file ->
+          let path = Filename.concat dir file in
+          let ic = open_in_bin path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Json.parse s with
+          | Error m ->
+            problems :=
+              Printf.sprintf "%s: parse error: %s" file m :: !problems
+          | Ok doc ->
+            let bad fmt =
+              Printf.ksprintf
+                (fun m ->
+                  problems := Printf.sprintf "%s: %s" file m :: !problems)
+                fmt
+            in
+            (match Json.to_str (jmem "schema" doc) with
+             | Some "polymg.incident/1" -> ()
+             | _ -> bad "missing/wrong schema");
+            (match Json.to_str (jmem "digest" (jmem "plan" doc)) with
+             | Some d when d <> "" -> ()
+             | _ -> bad "missing plan digest");
+            if Json.to_list (jmem "events" doc) = [] then
+              bad "empty event tail";
+            if need_cycle then (
+              match Json.to_int (jmem "cycle" doc) with
+              | Some c when c >= 1 -> ()
+              | _ -> bad "missing triggering cycle");
+            if Json.to_str (jmem "kind" doc) = Some kind
+               && detail_pred (jmem "detail" doc)
+            then matched := true)
+        reports;
+      if not !matched then
+        problems :=
+          Printf.sprintf "no incident of kind %S satisfying checks in %s"
+            kind dir
+          :: !problems;
+      List.rev !problems
+    end
 
 let max_abs_diff (a : Grid.t) (b : Grid.t) =
   let ba = a.Grid.buf and bb = b.Grid.buf in
@@ -63,21 +149,28 @@ let governed_case ~name ~cfg ~n ~problem ~cycles ~budget ~naive_v
       Options.mem_budget = Some budget;
       check_plan = true }
   in
+  (* only the forced-demotion cases must leave an incident trail *)
+  let incident_dir =
+    if expect_demotions then arm_flightrec name else None
+  in
   Telemetry.reset ();
   Telemetry.set_enabled true;
   match Solver.solve_governed cfg ~n ~opts ~cycles ~problem () with
   | exception e ->
     Telemetry.set_enabled false;
+    disarm_flightrec ();
     record ~name ~pass:false
       ~detail:[ ("error", Json.Str (Printexc.to_string e)) ]
   | Error inf ->
     Telemetry.set_enabled false;
+    disarm_flightrec ();
     record ~name ~pass:false
       ~detail:
         [ ("error", Json.Str "unexpectedly infeasible");
           ("floor_bytes", Json.num inf.Govern.floor_bytes) ]
   | Ok g ->
     Telemetry.set_enabled false;
+    disarm_flightrec ();
     let r = g.Solver.g_result in
     let diff = max_abs_diff r.Solver.v naive_v in
     let high_water =
@@ -91,13 +184,23 @@ let governed_case ~name ~cfg ~n ~problem ~cycles ~budget ~naive_v
     let water_ok = high_water <= budget in
     let demotions_consistent = reported = counted in
     let demotions_ok = (not expect_demotions) || reported >= 1 in
+    let incident_problems =
+      match incident_dir with
+      | None -> []
+      | Some dir ->
+        check_incident ~dir ~kind:"demotion"
+          ~detail_pred:(fun d -> Json.to_str (jmem "chosen" d) <> None)
+          ()
+    in
     let pass =
       converged && model_ok && water_ok && demotions_consistent
-      && demotions_ok
+      && demotions_ok && incident_problems = []
     in
     record ~name ~pass
       ~detail:
-        [ ("budget", Json.num budget);
+        (( "incident_problems",
+           Json.Arr (List.map (fun s -> Json.Str s) incident_problems) )
+         :: [ ("budget", Json.num budget);
           ("executed_rung", Json.Str executed.Govern.rname);
           ("executed_peak_bytes", Json.num executed.Govern.peak_bytes);
           ("pool_high_water", Json.num high_water);
@@ -105,7 +208,7 @@ let governed_case ~name ~cfg ~n ~problem ~cycles ~budget ~naive_v
           ("demotions_reported", Json.num reported);
           ("demotions_counted", Json.num counted);
           ("runtime_demotions", Json.num g.Solver.g_runtime_demotions);
-          ("report", Govern.report_json g.Solver.g_report) ]
+          ("report", Govern.report_json g.Solver.g_report) ])
 
 let budget_axis ~quick =
   let configs =
@@ -171,15 +274,18 @@ let budget_axis ~quick =
           Options.mem_budget = Some (floor - 1);
           check_plan = true }
       in
+      let incident_dir = arm_flightrec name in
       Telemetry.reset ();
       Telemetry.set_enabled true;
       (match Solver.solve_governed cfg ~n ~opts ~cycles ~problem () with
        | exception e ->
          Telemetry.set_enabled false;
+         disarm_flightrec ();
          record ~name ~pass:false
            ~detail:[ ("error", Json.Str (Printexc.to_string e)) ]
        | Ok g ->
          Telemetry.set_enabled false;
+         disarm_flightrec ();
          record ~name ~pass:false
            ~detail:
              [ ("error", Json.Str "expected infeasible, got a solve");
@@ -187,20 +293,34 @@ let budget_axis ~quick =
                 Json.Str g.Solver.g_executed.Govern.rname) ]
        | Error inf ->
          Telemetry.set_enabled false;
+         disarm_flightrec ();
          let counted =
            Telemetry.value (Telemetry.counter "govern.infeasible")
+         in
+         let incident_problems =
+           match incident_dir with
+           | None -> []
+           | Some dir ->
+             check_incident ~dir ~kind:"budget-infeasible"
+               ~detail_pred:(fun d ->
+                 Json.to_str (jmem "floor_rung" d) <> None)
+               ()
          in
          let pass =
            inf.Govern.inf_budget = floor - 1
            && inf.Govern.floor_bytes = floor
            && counted >= 1
+           && incident_problems = []
          in
          record ~name ~pass
            ~detail:
              [ ("budget", Json.num (floor - 1));
                ("floor_bytes", Json.num inf.Govern.floor_bytes);
                ("floor_rung", Json.Str inf.Govern.floor_rung);
-               ("infeasible_counted", Json.num counted) ]))
+               ("infeasible_counted", Json.num counted);
+               ( "incident_problems",
+                 Json.Arr (List.map (fun s -> Json.Str s) incident_problems)
+               ) ]))
     configs
 
 (* -- deadline axis ------------------------------------------------------- *)
@@ -234,6 +354,7 @@ let deadline_axis () =
        ~detail:[ ("deadline_trips", Json.num t) ]);
   (* hopeless deadline under guard: trips, quarantines the primary, and
      still converges through the deadline-free naive fallback *)
+  let incident_dir = arm_flightrec "deadline-hopeless-guarded" in
   Telemetry.reset ();
   Telemetry.set_enabled true;
   let r =
@@ -249,6 +370,7 @@ let deadline_axis () =
       ~problem ()
   in
   Telemetry.set_enabled false;
+  disarm_flightrec ();
   let t = trips () in
   let quarantined =
     List.exists
@@ -256,13 +378,25 @@ let deadline_axis () =
         e.Guard.action = Guard.Quarantined_primary)
       r.Guard.events
   in
+  let incident_problems =
+    match incident_dir with
+    | None -> []
+    | Some dir ->
+      check_incident ~dir ~kind:"deadline" ~need_cycle:true
+        ~detail_pred:(fun d -> Json.to_str (jmem "fault" d) <> None)
+        ()
+  in
   record ~name:"deadline-hopeless-guarded"
-    ~pass:(r.Guard.outcome = Guard.Converged && t >= 1 && quarantined)
+    ~pass:
+      (r.Guard.outcome = Guard.Converged && t >= 1 && quarantined
+       && incident_problems = [])
     ~detail:
       [ ("outcome", Json.Str (Guard.outcome_name r.Guard.outcome));
         ("deadline_trips", Json.num t);
         ("quarantined", Json.Bool quarantined);
-        ("fallback_cycles", Json.num r.Guard.fallback_cycles) ];
+        ("fallback_cycles", Json.num r.Guard.fallback_cycles);
+        ( "incident_problems",
+          Json.Arr (List.map (fun s -> Json.Str s) incident_problems) ) ];
   (* transient crash + bounded retry: one Primary_retry event, no
      fallback cycles, converged *)
   Telemetry.reset ();
@@ -309,7 +443,66 @@ let deadline_axis () =
       [ ("outcome", Json.Str (Guard.outcome_name r.Guard.outcome));
         ("retried", Json.Bool retried);
         ("retries_counted", Json.num counted);
-        ("fallback_cycles", Json.num r.Guard.fallback_cycles) ]
+        ("fallback_cycles", Json.num r.Guard.fallback_cycles) ];
+  (* retry exhaustion: a persistent crash, bounded retries and no
+     fallback must end in a typed Faulted outcome — and leave a crash
+     incident whose recorded action is "gave up" *)
+  let incident_dir = arm_flightrec "retry-exhaustion" in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let r =
+    Exec.with_runtime (fun rt ->
+        let _keep_plan_note =
+          (* note the plan the way a real solve would, so the incident
+             carries the primary's digest even though the primary below
+             never completes a cycle *)
+          Solver.polymg_stepper cfg ~n
+            ~opts:{ Options.opt_plus with Options.check_plan = true }
+            ~rt
+        in
+        let primary ~v:_ ~f:_ ~out:_ =
+          failwith "pressure: persistent crash"
+        in
+        Guard.run
+          ~policy:
+            { Guard.default_policy with
+              Guard.tol = Some 1e-8;
+              Guard.max_cycles = 10;
+              Guard.primary_retries = 2;
+              Guard.retry_backoff = 1e-3 }
+          ~primary ~problem ())
+  in
+  Telemetry.set_enabled false;
+  disarm_flightrec ();
+  let retries =
+    Telemetry.value (Telemetry.counter "govern.primary_retries")
+  in
+  let gave_up =
+    List.exists
+      (fun (e : Guard.event) -> e.Guard.action = Guard.Gave_up)
+      r.Guard.events
+  in
+  let incident_problems =
+    match incident_dir with
+    | None -> []
+    | Some dir ->
+      check_incident ~dir ~kind:"crash" ~need_cycle:true
+        ~detail_pred:(fun d -> Json.to_str (jmem "action" d) = Some "gave up")
+        ()
+  in
+  record ~name:"retry-exhaustion"
+    ~pass:
+      ((match r.Guard.outcome with
+        | Guard.Faulted (Guard.Fault_crash _) -> true
+        | _ -> false)
+       && retries = 2 && gave_up
+       && incident_problems = [])
+    ~detail:
+      [ ("outcome", Json.Str (Guard.outcome_name r.Guard.outcome));
+        ("retries_counted", Json.num retries);
+        ("gave_up", Json.Bool gave_up);
+        ( "incident_problems",
+          Json.Arr (List.map (fun s -> Json.Str s) incident_problems) ) ]
 
 (* -- driver -------------------------------------------------------------- *)
 
@@ -323,8 +516,14 @@ let () =
     | "--out" :: path :: rest ->
       out := Some path;
       parse rest
+    | "--incident-dir" :: dir :: rest ->
+      incident_root := Some dir;
+      parse rest
     | a :: _ ->
-      Printf.eprintf "pressure: unknown argument %s (try --quick, --out FILE)\n" a;
+      Printf.eprintf
+        "pressure: unknown argument %s (try --quick, --out FILE, \
+         --incident-dir DIR)\n"
+        a;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));

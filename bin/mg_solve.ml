@@ -10,6 +10,8 @@ open Cmdliner
 open Repro_mg
 open Repro_core
 module Telemetry = Repro_runtime.Telemetry
+module Flightrec = Repro_runtime.Flightrec
+module Json = Repro_runtime.Json
 
 let print_stats stats =
   List.iter
@@ -30,7 +32,7 @@ let print_status_summary stats =
 
 let run dims cycle smoothing levels n variant cycles domains verbose profile
     trace metrics tol max_cycles guard no_fallback poison mem_budget deadline
-    conform =
+    conform health no_flightrec incident_dir =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -101,6 +103,11 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
       variant;
     exit 2
   end;
+  (* The flight recorder is always-on (bounded per-domain rings, one
+     flag test per event site when idle); --no-flightrec exists for the
+     overhead gate in the bench harness. *)
+  Flightrec.set_enabled (not no_flightrec);
+  Flightrec.set_incident_dir incident_dir;
   let problem = Problem.poisson ~dims ~n in
   let guard_mode = guard || tol <> None in
   let governed_mode = mem_budget <> None && not guard_mode in
@@ -113,7 +120,14 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
   end;
   let exit_code = ref 0 in
   let plan_ref = ref None in
+  let incident_deadline e =
+    ignore
+      (Flightrec.incident ~kind:"deadline"
+         ~detail:[ ("exception", Json.Str (Printexc.to_string e)) ]
+         ())
+  in
   let stats, v, total_seconds =
+    try
     if governed_mode then begin
       (* Budgeted solve: Govern picks the ladder rung, Mempool enforces
          the budget, Budget_exceeded demotes instead of aborting. *)
@@ -123,6 +137,7 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
           ()
       with
       | exception (Repro_runtime.Watchdog.Deadline_exceeded _ as e) ->
+        incident_deadline e;
         Telemetry.set_enabled false;
         Printf.eprintf "deadline: %s\n" (Printexc.to_string e);
         exit 4
@@ -156,8 +171,10 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
       let stepper =
         match variant with
         | "handopt" ->
+          Flightrec.note_plan ~digest:"handopt" ~variant;
           Handopt.stepper (Handopt.create cfg ~n ~par:rt.Exec.par ())
         | "handopt+pluto" ->
+          Flightrec.note_plan ~digest:"handopt" ~variant;
           Handopt.stepper
             (Handopt.create cfg ~n ~par:rt.Exec.par
                ~smoothing:(Handopt.Pluto { sigma = 16 })
@@ -224,6 +241,7 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
         let r =
           try Solver.iterate stepper ~problem ~cycles ()
           with Repro_runtime.Watchdog.Deadline_exceeded _ as e ->
+            incident_deadline e;
             Telemetry.set_enabled false;
             Printf.eprintf "deadline: %s\n" (Printexc.to_string e);
             exit 4
@@ -232,10 +250,31 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
         print_stats r.Solver.stats;
         (r.Solver.stats, r.Solver.v, r.Solver.total_seconds)
       end
+    with e ->
+      (* any anomaly the structured paths did not already report *)
+      ignore
+        (Flightrec.incident ~kind:"exception"
+           ~detail:[ ("exception", Json.Str (Printexc.to_string e)) ]
+           ());
+      raise e
   in
   let err = Verify.error_l2 ~v ~exact:problem.Problem.exact in
   Printf.printf "total %.4fs; error vs continuous solution: %.6e\n"
     total_seconds err;
+  (* Convergence observatory: a sequential reference probe of the same
+     cycle, reported on demand and embedded in the metrics document. *)
+  let health_report =
+    if health || metrics <> None then
+      match Health.observe cfg ~n ~cycles ~problem () with
+      | h -> Some h
+      | exception Invalid_argument msg ->
+        if health then Printf.eprintf "health: %s\n" msg;
+        None
+    else None
+  in
+  (match (health, health_report) with
+  | true, Some h -> Format.printf "%a@." Health.pp h
+  | _ -> ());
   if profile then begin
     print_status_summary stats;
     Format.printf "%t@." (fun fmt -> Telemetry.report fmt);
@@ -265,8 +304,8 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
      Repro_runtime.Metrics.reset ();
      Repro_runtime.Metrics.ingest_spans (Telemetry.spans ());
      let doc =
-       Perf_report.build ~cfg ~n ~variant ~domains ~cost ~plan ~stats
-         ~total_seconds ~spans:(Telemetry.spans ())
+       Perf_report.build ~health:health_report ~cfg ~n ~variant ~domains
+         ~cost ~plan ~stats ~total_seconds ~spans:(Telemetry.spans ())
          ~counters:(Telemetry.counters ()) ~roofline
      in
      (try Perf_report.write ~path doc
@@ -411,6 +450,38 @@ let conform_t =
            lockstep against the naive plan, pairwise within the documented \
            tolerance budgets (see TESTING.md).  Exits 1 on any mismatch.")
 
+let health_t =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "After the solve, run the convergence observatory: a sequential \
+           reference cycle instrumented per level, reporting per-cycle and \
+           asymptotic convergence factors, per-level smoothing rates, and \
+           stall attribution (which level stopped reducing its residual, \
+           and when).  The same block is embedded in --metrics output.")
+
+let no_flightrec_t =
+  Arg.(
+    value & flag
+    & info [ "no-flightrec" ]
+        ~doc:
+          "Disable the flight recorder (always-on bounded ring buffer of \
+           structured runtime events; see README Observability).  With \
+           the recorder off no incident reports are written.")
+
+let incident_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incident-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for incident reports.  On any anomaly (guard fault, \
+           quarantine, deadline stop, budget infeasibility, uncaught \
+           exception) a self-contained JSON report — event tail, plan \
+           digest, policy, residual history, counters, environment — is \
+           written there and summarized on stderr.")
+
 let cmd =
   let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
   let exits =
@@ -434,6 +505,7 @@ let cmd =
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
       $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ metrics_t
       $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t
-      $ mem_budget_t $ deadline_t $ conform_t)
+      $ mem_budget_t $ deadline_t $ conform_t $ health_t $ no_flightrec_t
+      $ incident_dir_t)
 
 let () = exit (Cmd.eval' cmd)

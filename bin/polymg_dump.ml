@@ -119,6 +119,116 @@ let explain_measured cfg ~opts ~n =
      else Printf.sprintf "%.0f%%" (100.0 *. float_of_int (v "mempool.hit") /. float_of_int acq));
   Telemetry.reset ()
 
+(* Everything a mode action may need, resolved once in [run]. *)
+type ctx = {
+  cfg : Cycle.config;
+  pipeline : Repro_ir.Pipeline.t;
+  opts : Options.t;
+  n : int;
+  mem_budget : string option;
+  domains : int;
+}
+
+let plan_of ctx =
+  Plan.build ctx.pipeline ~opts:ctx.opts ~n:ctx.n
+    ~params:(Cycle.params ctx.cfg ~n:ctx.n)
+
+(* The single source of truth for --what: each mode's name, its slice of
+   the --what help text, and its action.  The help string, the dispatch
+   and the unknown-mode error are all derived from this table. *)
+let modes : (string * string * (ctx -> unit)) list =
+  [ ( "dag",
+      "the pipeline DAG",
+      fun ctx -> Format.printf "%a@." Repro_ir.Pipeline.pp ctx.pipeline );
+    ( "groups",
+      "the grouping and storage mapping",
+      fun ctx -> Format.printf "%a@." Plan.summary (plan_of ctx) );
+    ( "c",
+      "the generated C driver",
+      fun ctx -> print_string (C_emit.to_string (plan_of ctx)) );
+    ( "cost",
+      "the analytical per-stage bytes/FLOPs model",
+      fun ctx ->
+        Printf.printf "== cost: %s  n=%d  variant=%s ==\n"
+          (Cycle.bench_name ctx.cfg) ctx.n (Options.name ctx.opts);
+        Format.printf "%a@." Cost.pp (Cost.of_plan (plan_of ctx)) );
+    ( "explain",
+      "predicted plan metrics next to measured telemetry from a trial \
+       cycle",
+      fun ctx ->
+        Printf.printf "== plan explain: %s  n=%d  variant=%s ==\n"
+          (Cycle.bench_name ctx.cfg) ctx.n (Options.name ctx.opts);
+        explain_predicted ctx.pipeline ctx.cfg ~opts:ctx.opts ~n:ctx.n
+          (plan_of ctx);
+        explain_measured ctx.cfg ~opts:ctx.opts ~n:ctx.n );
+    ( "check",
+      "run the Plan_check storage-safety pass and report violations",
+      fun ctx ->
+        let plan = plan_of ctx in
+        match Plan_check.check plan with
+        | Ok () ->
+          Printf.printf
+            "plan check: OK — %d groups, %d members, %d arrays storage-safe\n"
+            (Plan.group_count plan) (Plan.member_count plan)
+            (Plan.array_count plan)
+        | Error issues ->
+          List.iter (fun s -> Printf.printf "plan check: %s\n" s) issues;
+          Printf.printf "plan check: FAILED — %d issue%s\n"
+            (List.length issues)
+            (if List.length issues = 1 then "" else "s");
+          exit 1 );
+    ( "budget",
+      "the resource-governance degradation ladder: every rung's modelled \
+       footprint and cost, the chosen rung under --mem-budget, and each \
+       demotion's cost delta",
+      fun ctx ->
+        let mem_budget =
+          match ctx.mem_budget with
+          | None -> None
+          | Some s -> (
+            match Govern.bytes_of_string s with
+            | Some b -> Some b
+            | None ->
+              Printf.eprintf "mem-budget: cannot parse %S\n" s;
+              exit 2)
+        in
+        let opts = { ctx.opts with Options.mem_budget } in
+        Printf.printf
+          "== budget ladder: %s  n=%d  variant=%s  domains=%d ==\n"
+          (Cycle.bench_name ctx.cfg) ctx.n (Options.name opts) ctx.domains;
+        match
+          Govern.decide ~domains:ctx.domains ctx.pipeline ~opts ~n:ctx.n
+            ~params:(Cycle.params ctx.cfg ~n:ctx.n)
+        with
+        | Ok report -> Format.printf "@[<v>%a@]@." Govern.pp_report report
+        | Error inf ->
+          Format.printf "%a@." Govern.pp_infeasible inf;
+          exit 5 );
+    ( "conform",
+      "compile and run the emitted-C driver, diffing its grid dump \
+       against the engine; exits 1 on mismatch",
+      fun ctx ->
+        let plan = plan_of ctx in
+        let name =
+          Printf.sprintf "%s/%s" (Cycle.bench_name ctx.cfg)
+            (Options.name ctx.opts)
+        in
+        let verdict = Conformance.c_equivalence plan in
+        Format.printf "%a@." Conformance.pp_c_verdict (name, verdict);
+        if not (Conformance.c_verdict_pass verdict) then exit 1 );
+    ( "health",
+      "the convergence observatory on the selected cycle: per-cycle and \
+       asymptotic convergence factors, per-level smoothing rates and \
+       stall attribution over 8 reference cycles",
+      fun ctx ->
+        match Health.observe ctx.cfg ~n:ctx.n ~cycles:8 () with
+        | h -> Format.printf "%a@." Health.pp h
+        | exception Invalid_argument msg ->
+          Printf.eprintf "health: %s\n" msg;
+          exit 2 ) ]
+
+let mode_names = String.concat ", " (List.map (fun (m, _, _) -> m) modes)
+
 let run dims cycle smoothing levels n variant what mem_budget domains =
   let shape =
     match String.uppercase_ascii cycle with
@@ -142,72 +252,11 @@ let run dims cycle smoothing levels n variant what mem_budget domains =
     | Some o -> o
     | None -> prerr_endline ("unknown variant " ^ variant); exit 2
   in
-  match what with
-  | "dag" -> Format.printf "%a@." Repro_ir.Pipeline.pp pipeline
-  | "groups" ->
-    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
-    Format.printf "%a@." Plan.summary plan
-  | "c" ->
-    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
-    print_string (C_emit.to_string plan)
-  | "cost" ->
-    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
-    Printf.printf "== cost: %s  n=%d  variant=%s ==\n" (Cycle.bench_name cfg)
-      n (Options.name opts);
-    Format.printf "%a@." Cost.pp (Cost.of_plan plan)
-  | "explain" ->
-    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
-    Printf.printf "== plan explain: %s  n=%d  variant=%s ==\n"
-      (Cycle.bench_name cfg) n (Options.name opts);
-    explain_predicted pipeline cfg ~opts ~n plan;
-    explain_measured cfg ~opts ~n
-  | "budget" -> (
-    let mem_budget =
-      match mem_budget with
-      | None -> None
-      | Some s -> (
-        match Govern.bytes_of_string s with
-        | Some b -> Some b
-        | None ->
-          Printf.eprintf "mem-budget: cannot parse %S\n" s;
-          exit 2)
-    in
-    let opts = { opts with Options.mem_budget } in
-    Printf.printf "== budget ladder: %s  n=%d  variant=%s  domains=%d ==\n"
-      (Cycle.bench_name cfg) n (Options.name opts) domains;
-    match
-      Govern.decide ~domains pipeline ~opts ~n ~params:(Cycle.params cfg ~n)
-    with
-    | Ok report -> Format.printf "@[<v>%a@]@." Govern.pp_report report
-    | Error inf ->
-      Format.printf "%a@." Govern.pp_infeasible inf;
-      exit 5)
-  | "check" -> (
-    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
-    match Plan_check.check plan with
-    | Ok () ->
-      Printf.printf
-        "plan check: OK — %d groups, %d members, %d arrays storage-safe\n"
-        (Plan.group_count plan) (Plan.member_count plan)
-        (Plan.array_count plan)
-    | Error issues ->
-      List.iter (fun s -> Printf.printf "plan check: %s\n" s) issues;
-      Printf.printf "plan check: FAILED — %d issue%s\n" (List.length issues)
-        (if List.length issues = 1 then "" else "s");
-      exit 1)
-  | "conform" -> (
-    (* emitted-C run-equivalence: compile the self-contained C driver,
-       run it, diff its grid dump against the engine *)
-    let plan = Plan.build pipeline ~opts ~n ~params:(Cycle.params cfg ~n) in
-    let name =
-      Printf.sprintf "%s/%s" (Cycle.bench_name cfg) (Options.name opts)
-    in
-    let verdict = Conformance.c_equivalence plan in
-    Format.printf "%a@." Conformance.pp_c_verdict (name, verdict);
-    if not (Conformance.c_verdict_pass verdict) then exit 1)
-  | _ ->
-    prerr_endline
-      "what must be dag, groups, c, cost, explain, check, budget or conform";
+  let ctx = { cfg; pipeline; opts; n; mem_budget; domains } in
+  match List.find_opt (fun (m, _, _) -> m = what) modes with
+  | Some (_, _, action) -> action ctx
+  | None ->
+    Printf.eprintf "unknown --what %S: must be one of %s\n" what mode_names;
     exit 2
 
 let dims_t = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Grid rank.")
@@ -223,17 +272,14 @@ let variant_t =
   Arg.(value & opt string "opt+" & info [ "variant" ] ~doc:"Optimizer preset.")
 
 let what_t =
-  Arg.(
-    value & opt string "groups"
-    & info [ "what" ]
-        ~doc:"What to print: dag, groups, c, cost (the analytical \
-              per-stage bytes/FLOPs model), explain, check (run the \
-              Plan_check storage-safety pass and report violations), or \
-              budget (the resource-governance degradation ladder: every \
-              rung's modelled footprint and cost, the chosen rung under \
-              --mem-budget, and each demotion's cost delta), or conform \
-              (compile and run the emitted-C driver, diffing its grid \
-              dump against the engine; exits 1 on mismatch).")
+  let doc =
+    (* derived from the mode table so help can never drift from dispatch *)
+    "What to print: "
+    ^ String.concat "; "
+        (List.map (fun (m, desc, _) -> m ^ " (" ^ desc ^ ")") modes)
+    ^ "."
+  in
+  Arg.(value & opt string "groups" & info [ "what" ] ~doc)
 
 let mem_budget_t =
   Arg.(

@@ -6,6 +6,7 @@ module Parallel = Repro_runtime.Parallel
 module Mempool = Repro_runtime.Mempool
 module Telemetry = Repro_runtime.Telemetry
 module Watchdog = Repro_runtime.Watchdog
+module Flightrec = Repro_runtime.Flightrec
 
 let c_tiles = Telemetry.counter "exec.tiles"
 let c_points = Telemetry.counter "exec.points_computed"
@@ -440,6 +441,14 @@ let run plan rt ~inputs ~outputs =
         | Plan.G_tiled tg -> run_tiled ctx tg
         | Plan.G_diamond dg -> run_diamond ctx dg
       in
+      if Flightrec.on () then
+        Flightrec.emit
+          (Flightrec.Group_begin
+             { gid = gi;
+               kind =
+                 (match group with
+                 | Plan.G_tiled _ -> "tiled"
+                 | Plan.G_diamond _ -> "diamond") });
       (match opts.Options.deadline with
        | Some s ->
          Watchdog.with_deadline
@@ -447,6 +456,7 @@ let run plan rt ~inputs ~outputs =
            ~budget_ns:(max 1 (int_of_float (s *. 1e9)))
            exec_group
        | None -> exec_group ());
+      if Flightrec.on () then Flightrec.emit (Flightrec.Group_end { gid = gi });
       (* release arrays after their last consuming group *)
       if opts.Options.pool then
         Array.iteri

@@ -1,5 +1,6 @@
 module Telemetry = Repro_runtime.Telemetry
 module Json = Repro_runtime.Json
+module Flightrec = Repro_runtime.Flightrec
 
 let c_demotions = Telemetry.counter "govern.demotions"
 let c_infeasible = Telemetry.counter "govern.infeasible"
@@ -204,6 +205,40 @@ let decide ?(domains = 1) pipeline ~(opts : Options.t) ~n ~params =
             flops_delta = into.flops -. from.flops })
     in
     Telemetry.add c_demotions (List.length demotions);
+    if Flightrec.on () then begin
+      List.iter
+        (fun d ->
+          Flightrec.emit
+            (Flightrec.Demotion
+               { from_rung = d.from_rung;
+                 to_rung = d.to_rung;
+                 over_bytes = d.over_bytes }))
+        demotions;
+      if demotions <> [] then begin
+        Flightrec.note_plan
+          ~digest:(Plan.digest ladder.(chosen).plan)
+          ~variant:ladder.(chosen).rname;
+        ignore
+          (Flightrec.incident ~kind:"demotion"
+             ~detail:
+               [ ( "budget_bytes",
+                   match budget with
+                   | Some b -> Json.num b
+                   | None -> Json.Null );
+                 ("requested", Json.Str requested);
+                 ("chosen", Json.Str ladder.(chosen).rname);
+                 ( "demotions",
+                   Json.Arr
+                     (List.map
+                        (fun d ->
+                          Json.Obj
+                            [ ("from", Json.Str d.from_rung);
+                              ("to", Json.Str d.to_rung);
+                              ("over_bytes", Json.num d.over_bytes) ])
+                        demotions) ) ]
+             ())
+      end
+    end;
     Ok { budget; domains; requested; ladder; chosen; demotions }
   | None ->
     let floor =
@@ -216,6 +251,27 @@ let decide ?(domains = 1) pipeline ~(opts : Options.t) ~n ~params =
     in
     let floor = Option.get floor in
     Telemetry.add c_infeasible 1;
+    if Flightrec.on () then begin
+      Flightrec.emit
+        (Flightrec.Infeasible
+           { budget_bytes = Option.get budget;
+             floor_bytes = floor.peak_bytes;
+             floor_rung = floor.rname });
+      Flightrec.note_plan
+        ~digest:(Plan.digest floor.plan)
+        ~variant:floor.rname;
+      ignore
+        (Flightrec.incident ~kind:"budget-infeasible"
+           ~detail:
+             [ ("budget_bytes", Json.num (Option.get budget));
+               ("floor_bytes", Json.num floor.peak_bytes);
+               ("floor_rung", Json.Str floor.rname);
+               ( "ladder",
+                 Json.Arr
+                   (Array.to_list
+                      (Array.map (fun r -> Json.Str r.rname) ladder)) ) ]
+           ())
+    end;
     Error
       { inf_budget = Option.get budget;
         floor_bytes = floor.peak_bytes;

@@ -437,3 +437,22 @@ let summary fmt t =
         Format.fprintf fmt "@]@,")
     t.groups;
   Format.fprintf fmt "@]"
+
+(* The digest fingerprints the full summary dump (pipeline, options,
+   grouping, storage mapping), memoized by uid — summary is O(members)
+   to print and the digest is consulted per cycle by the recorder. *)
+let digest_cache : (int, string) Hashtbl.t = Hashtbl.create 8
+let digest_mutex = Mutex.create ()
+
+let digest t =
+  Mutex.lock digest_mutex;
+  let d =
+    match Hashtbl.find_opt digest_cache t.uid with
+    | Some d -> d
+    | None ->
+      let d = Digest.to_hex (Digest.string (Format.asprintf "%a" summary t)) in
+      Hashtbl.replace digest_cache t.uid d;
+      d
+  in
+  Mutex.unlock digest_mutex;
+  d

@@ -89,3 +89,9 @@ val member_count : t -> int
 val summary : Format.formatter -> t -> unit
 (** Prints groups, members, storage mapping and tile shapes — the
     Fig. 6 style dump. *)
+
+val digest : t -> string
+(** Hex fingerprint of the {!summary} dump: two plans with the same
+    pipeline, options and storage mapping digest identically.  Memoized
+    per plan ([uid]), so per-cycle consumers (metrics documents, the
+    flight recorder) pay the formatting cost once. *)

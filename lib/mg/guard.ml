@@ -1,6 +1,9 @@
 module Grid = Repro_grid.Grid
 module Buf = Repro_grid.Buf
 module Telemetry = Repro_runtime.Telemetry
+module Flightrec = Repro_runtime.Flightrec
+module Watchdog = Repro_runtime.Watchdog
+module Json = Repro_runtime.Json
 open Repro_core
 
 type policy = {
@@ -133,12 +136,15 @@ let run ?(policy = default_policy) ~primary ?fallback
     let stepper =
       if on_fallback then Option.get (get_fallback ()) else primary
     in
+    if Flightrec.on () then
+      Flightrec.emit
+        (Flightrec.Cycle_begin { cycle = !cycle; fallback = on_fallback });
     let t0 = Unix.gettimeofday () in
     let t_span = Telemetry.begin_span () in
     let crash =
       match stepper ~v:!cur ~f:problem.Problem.f ~out:!next with
       | () -> None
-      | exception e -> Some (Printexc.to_string e)
+      | exception e -> Some e
     in
     if t_span <> 0 then
       Telemetry.end_span t_span ~cat:"solver"
@@ -155,7 +161,7 @@ let run ?(policy = default_policy) ~primary ?fallback
     in
     let fault =
       match crash with
-      | Some msg -> Some (Fault_crash msg)
+      | Some e -> Some (Fault_crash (Printexc.to_string e))
       | None ->
         if Buf.find_nonfinite !next.Grid.buf <> None then begin
           record Float.nan Solver.Nan;
@@ -184,6 +190,15 @@ let run ?(policy = default_policy) ~primary ?fallback
             next := tmp;
             Grid.blit ~src:!cur ~dst:good;
             good_res := r;
+            if Flightrec.on () then begin
+              Flightrec.emit
+                (Flightrec.Cycle_end
+                   { cycle = !cycle;
+                     residual = r;
+                     status = Solver.status_name status });
+              Flightrec.emit
+                (Flightrec.Checkpoint { cycle = !cycle; residual = r })
+            end;
             if r < !best then best := r;
             prev := r;
             if status = Solver.Stagnated then incr stagnant
@@ -212,9 +227,20 @@ let run ?(policy = default_policy) ~primary ?fallback
     | None -> ()
     | Some f ->
       count_fault f;
+      if Flightrec.on () then begin
+        Flightrec.emit
+          (Flightrec.Fault
+             { cycle = !cycle;
+               fault =
+                 (match f with
+                 | Fault_crash msg -> "crash: " ^ msg
+                 | f -> fault_name f) })
+      end;
       (* rollback to the checkpoint *)
       Grid.blit ~src:good ~dst:!cur;
       Telemetry.add c_rollbacks 1;
+      if Flightrec.on () then
+        Flightrec.emit (Flightrec.Rollback { cycle = !cycle });
       let action =
         if (not on_fallback) && !retries_this_cycle < policy.primary_retries
         then begin
@@ -248,7 +274,73 @@ let run ?(policy = default_policy) ~primary ?fallback
           else Fallback_retry
         end
       in
-      events := { cycle = !cycle; fault = f; action } :: !events
+      events := { cycle = !cycle; fault = f; action } :: !events;
+      if Flightrec.on () then begin
+        (match action with
+        | Primary_retry ->
+          Flightrec.emit
+            (Flightrec.Retry
+               { cycle = !cycle;
+                 attempt = !retries_this_cycle;
+                 backoff_s =
+                   policy.retry_backoff
+                   *. (2.0 ** float_of_int (!retries_this_cycle - 1)) })
+        | Fallback_retry ->
+          Flightrec.emit (Flightrec.Fallback_switch { cycle = !cycle })
+        | Quarantined_primary ->
+          Flightrec.emit (Flightrec.Fallback_switch { cycle = !cycle });
+          Flightrec.emit
+            (Flightrec.Quarantine
+               { cycle = !cycle; faults = !primary_faults })
+        | Gave_up -> ());
+        (* One incident report per fault, with the recovery decision
+           already taken so the report names both cause and action.
+           Deadline trips arrive as a crash carrying the watchdog's
+           typed exception; report them under their own kind. *)
+        let kind =
+          match (crash, f) with
+          | Some (Watchdog.Deadline_exceeded _), _ -> "deadline"
+          | _, Fault_crash _ -> "crash"
+          | _, f -> fault_name f
+        in
+        let fnum x = if Float.is_finite x then Json.Num x else Json.Null in
+        ignore
+          (Flightrec.incident ~kind ~cycle:!cycle
+             ~detail:
+               [ ( "fault",
+                   Json.Str
+                     (match f with
+                     | Fault_crash msg -> "crash: " ^ msg
+                     | f -> fault_name f) );
+                 ("action", Json.Str (action_name action));
+                 ("fallback_active", Json.Bool on_fallback);
+                 ("primary_faults", Json.num !primary_faults);
+                 ("checkpoint_residual", fnum !good_res);
+                 ( "residual_history",
+                   Json.Arr
+                     (List.rev_map
+                        (fun (s : Solver.cycle_stats) ->
+                          fnum s.Solver.residual)
+                        !stats) );
+                 ( "policy",
+                   Json.Obj
+                     [ ( "tol",
+                         match policy.tol with
+                         | Some t -> Json.Num t
+                         | None -> Json.Null );
+                       ("max_cycles", Json.num policy.max_cycles);
+                       ( "divergence_factor",
+                         Json.Num policy.divergence_factor );
+                       ("stagnation_eps", Json.Num policy.stagnation_eps);
+                       ( "stagnation_window",
+                         Json.num policy.stagnation_window );
+                       ( "max_primary_faults",
+                         Json.num policy.max_primary_faults );
+                       ("primary_retries", Json.num policy.primary_retries);
+                       ("retry_backoff", Json.Num policy.retry_backoff) ] )
+               ]
+             ())
+      end
   done;
   { stats = List.rev !stats;
     v = !cur;

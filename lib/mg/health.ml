@@ -1,0 +1,445 @@
+module Buf = Repro_grid.Buf
+module Grid = Repro_grid.Grid
+module Json = Repro_runtime.Json
+module K = Kernels
+
+type visit = { cycle : int; pre : float; mid : float; post : float }
+
+type level_diag = {
+  level : int;
+  nl : int;
+  visits : visit array;
+  smoothing_rate : float;
+  level_factor : float;
+  stalled_at : int option;
+}
+
+type report = {
+  bench : string;
+  dims : int;
+  n : int;
+  levels : int;
+  cycles : int;
+  residual0 : float;
+  residuals : float array;
+  cycle_factors : float array;
+  asymptotic_factor : float;
+  level_diags : level_diag array;
+  stalled_level : int option;
+}
+
+(* Relative improvement below this counts as "not improving" for stall
+   attribution, and residuals below [floor_rel * r0] are considered at
+   the round-off floor (no factor or stall is derived from them). *)
+let stall_eps = 1e-3
+let floor_rel = 1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Reference cycle state (sequential Kernels path, Handopt's sizes)     *)
+
+(* dimension-dispatched kernel table (Handopt keeps its own private) *)
+type ops = {
+  jacobi :
+    n:int -> w:float -> invhsq:float -> src:K.buf -> frhs:K.buf ->
+    dst:K.buf -> rlo:int -> rhi:int -> unit;
+  scalef :
+    n:int -> w:float -> frhs:K.buf -> dst:K.buf -> rlo:int -> rhi:int -> unit;
+  resid :
+    n:int -> invhsq:float -> v:K.buf -> frhs:K.buf -> dst:K.buf ->
+    rlo:int -> rhi:int -> unit;
+  restr : nc:int -> fine:K.buf -> dst:K.buf -> rlo:int -> rhi:int -> unit;
+  interp_correct :
+    nc:int -> coarse:K.buf -> v:K.buf -> rlo:int -> rhi:int -> unit;
+  copy : n:int -> src:K.buf -> dst:K.buf -> rlo:int -> rhi:int -> unit;
+}
+
+let ops2 =
+  { jacobi = K.jacobi2d;
+    scalef = K.scalef2d;
+    resid = K.resid2d;
+    restr = K.restrict2d;
+    interp_correct = K.interp_correct2d;
+    copy = K.copy2d }
+
+let ops3 =
+  { jacobi = K.jacobi3d;
+    scalef = K.scalef3d;
+    resid = K.resid3d;
+    restr = K.restrict3d;
+    interp_correct = K.interp_correct3d;
+    copy = K.copy3d }
+
+type level = {
+  ln : int;
+  invhsq : float;
+  w : float;
+  ebuf : Buf.t;  (* level iterate *)
+  tmp : Buf.t;  (* smoothing ping-pong partner *)
+  frhs : Buf.t;  (* level right-hand side *)
+  r : Buf.t;  (* residual scratch (also the restriction source) *)
+  mutable seen : visit list;  (* newest first *)
+}
+
+type state = {
+  cfg : Cycle.config;
+  n : int;
+  ops : ops;
+  levels : level array;  (* index 0 = coarsest *)
+}
+
+let make_state cfg ~n =
+  (match cfg.Cycle.shape with
+  | Cycle.V | Cycle.W -> ()
+  | Cycle.F -> invalid_arg "Health.observe: F-cycles not supported");
+  (match cfg.Cycle.smoother with
+  | Cycle.Jacobi -> ()
+  | Cycle.Gsrb -> invalid_arg "Health.observe: GSRB smoothing not supported");
+  let nlev = cfg.Cycle.levels in
+  if n mod (1 lsl (nlev - 1)) <> 0 then
+    invalid_arg "Health.observe: N must be divisible by 2^(levels-1)";
+  let dims = cfg.Cycle.dims in
+  let levels =
+    Array.init nlev (fun l ->
+        let nl = (n / (1 lsl (nlev - 1 - l))) - 1 in
+        let len = int_of_float (float_of_int (nl + 2) ** float_of_int dims) in
+        let invhsq = float_of_int ((nl + 1) * (nl + 1)) in
+        { ln = nl;
+          invhsq;
+          w = cfg.Cycle.omega /. (float_of_int (2 * dims) *. invhsq);
+          ebuf = Buf.create len;
+          tmp = Buf.create len;
+          frhs = Buf.create len;
+          r = Buf.create len;
+          seen = [] })
+  in
+  { cfg; n; ops = (if dims = 2 then ops2 else ops3); levels }
+
+let data (b : Buf.t) = b.Buf.data
+
+(* RMS over the interior, matching Verify.residual_l2's scaling. *)
+let interior_rms st (lv : level) (buf : Buf.t) =
+  let s = lv.ln + 2 in
+  let d = data buf in
+  let sum = ref 0.0 in
+  (match st.cfg.Cycle.dims with
+  | 2 ->
+    for i = 1 to lv.ln do
+      for j = 1 to lv.ln do
+        let x = Bigarray.Array1.unsafe_get d ((i * s) + j) in
+        sum := !sum +. (x *. x)
+      done
+    done
+  | _ ->
+    for i = 1 to lv.ln do
+      for j = 1 to lv.ln do
+        for k = 1 to lv.ln do
+          let x =
+            Bigarray.Array1.unsafe_get d ((((i * s) + j) * s) + k)
+          in
+          sum := !sum +. (x *. x)
+        done
+      done
+    done);
+  let count = float_of_int lv.ln ** float_of_int st.cfg.Cycle.dims in
+  sqrt (!sum /. count)
+
+(* Level residual norm: r <- frhs - A e, then RMS(r).  The residual is
+   left in [lv.r], so the caller can restrict it without recomputing. *)
+let resid_norm st (lv : level) =
+  let o = st.ops in
+  o.resid ~n:lv.ln ~invhsq:lv.invhsq ~v:(data lv.ebuf)
+    ~frhs:(data lv.frhs) ~dst:(data lv.r) ~rlo:1 ~rhi:lv.ln;
+  interior_rms st lv lv.r
+
+(* Jacobi smoothing with ping-pong buffers; the result always lands back
+   in [lv.ebuf].  [zero_init] means the incoming iterate is (logically)
+   zero, so the first step is the scalef special case, exactly as the
+   DSL cycle and Handopt build it. *)
+let smooth st (lv : level) ~steps ~zero_init =
+  if steps > 0 then begin
+    let o = st.ops in
+    let n = lv.ln in
+    let a = ref lv.ebuf and b = ref lv.tmp in
+    for step = 1 to steps do
+      (if step = 1 && zero_init then
+         o.scalef ~n ~w:lv.w ~frhs:(data lv.frhs) ~dst:(data !b)
+           ~rlo:1 ~rhi:n
+       else
+         o.jacobi ~n ~w:lv.w ~invhsq:lv.invhsq ~src:(data !a)
+           ~frhs:(data lv.frhs) ~dst:(data !b) ~rlo:1 ~rhi:n);
+      let t = !a in
+      a := !b;
+      b := t
+    done;
+    if not (!a == lv.ebuf) then
+      o.copy ~n ~src:(data !a) ~dst:(data lv.ebuf) ~rlo:1 ~rhi:n
+  end
+
+let rec visit st ~cycle ~level ~zero_init =
+  let lv = st.levels.(level) in
+  if zero_init then Buf.fill lv.ebuf 0.0;
+  let pre = resid_norm st lv in
+  let v =
+    if level = 0 then begin
+      smooth st lv ~steps:st.cfg.Cycle.n2 ~zero_init;
+      let m = resid_norm st lv in
+      { cycle; pre; mid = m; post = m }
+    end
+    else begin
+      let o = st.ops in
+      smooth st lv ~steps:st.cfg.Cycle.n1 ~zero_init;
+      let mid = resid_norm st lv in
+      (* resid_norm left the fresh residual in lv.r: restrict it into
+         the coarse right-hand side and recurse for the correction *)
+      let co = st.levels.(level - 1) in
+      o.restr ~nc:co.ln ~fine:(data lv.r) ~dst:(data co.frhs) ~rlo:1
+        ~rhi:co.ln;
+      let recursions =
+        match st.cfg.Cycle.shape with
+        | Cycle.W when level >= 2 -> 2
+        | Cycle.V | Cycle.W | Cycle.F -> 1
+      in
+      for k = 1 to recursions do
+        visit st ~cycle ~level:(level - 1) ~zero_init:(k = 1)
+      done;
+      o.interp_correct ~nc:co.ln ~coarse:(data co.ebuf)
+        ~v:(data lv.ebuf) ~rlo:0 ~rhi:co.ln;
+      smooth st lv ~steps:st.cfg.Cycle.n3 ~zero_init:false;
+      let post = resid_norm st lv in
+      { cycle; pre; mid; post }
+    end
+  in
+  lv.seen <- v :: lv.seen
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let geo_mean ratios =
+  let usable = List.filter (fun x -> Float.is_finite x && x > 0.0) ratios in
+  match usable with
+  | [] -> Float.nan
+  | xs ->
+    exp
+      (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+      /. float_of_int (List.length xs))
+
+(* Per-cycle improvement series -> first cycle of a terminal non-improving
+   streak (>= 2 cycles, still above the floor). *)
+let stall_of_series p =
+  let c = Array.length p in
+  if c < 3 then None
+  else begin
+    let floor = floor_rel *. Float.max p.(0) 1e-300 in
+    (* j = smallest index such that every step from p.(j-1) to p.(c-1)
+       fails to improve by stall_eps *)
+    let j = ref c in
+    while
+      !j > 1 && p.(!j - 1) >= (1.0 -. stall_eps) *. p.(!j - 2) && p.(!j - 2) > floor
+    do
+      decr j
+    done;
+    if c - !j >= 2 then Some (!j + 1) else None
+  end
+
+let diag_of_level (lv : level) ~level =
+  let visits = Array.of_list (List.rev lv.seen) in
+  let ratios sel =
+    Array.to_list visits
+    |> List.filter_map (fun v ->
+           let num, den = sel v in
+           if den > 0.0 && Float.is_finite num then Some (num /. den)
+           else None)
+  in
+  (* per-cycle last-visit post norms, for stall attribution *)
+  let by_cycle = Hashtbl.create 16 in
+  Array.iter (fun v -> Hashtbl.replace by_cycle v.cycle v.post) visits;
+  let cycles = Hashtbl.fold (fun c _ acc -> Int.max c acc) by_cycle 0 in
+  let series =
+    Array.init cycles (fun i ->
+        Option.value (Hashtbl.find_opt by_cycle (i + 1)) ~default:Float.nan)
+  in
+  { level;
+    nl = lv.ln;
+    visits;
+    smoothing_rate = geo_mean (ratios (fun v -> (v.mid, v.pre)));
+    level_factor = geo_mean (ratios (fun v -> (v.post, v.pre)));
+    stalled_at = stall_of_series series }
+
+let asymptotic ~residual0 ~residuals =
+  let floor = floor_rel *. Float.max residual0 1e-300 in
+  let factors = ref [] in
+  let prev = ref residual0 in
+  Array.iter
+    (fun r ->
+      if r > floor && !prev > floor && Float.is_finite r && r > 0.0 then
+        factors := (r /. !prev) :: !factors;
+      prev := r)
+    residuals;
+  let usable = List.rev !factors in
+  let k = List.length usable in
+  if k = 0 then Float.nan
+  else
+    (* last half: early cycles flatter the factor *)
+    let last_half = List.filteri (fun i _ -> i >= k / 2) usable in
+    geo_mean last_half
+
+let observe cfg ~n ~cycles ?problem () =
+  if cycles < 1 then invalid_arg "Health.observe: cycles must be >= 1";
+  let st = make_state cfg ~n in
+  let problem =
+    match problem with
+    | Some p -> p
+    | None -> Problem.poisson ~dims:cfg.Cycle.dims ~n
+  in
+  let finest = st.levels.(Array.length st.levels - 1) in
+  let expect = Array.make cfg.Cycle.dims (finest.ln + 2) in
+  if
+    Grid.extents problem.Problem.v <> expect
+    || Grid.extents problem.Problem.f <> expect
+  then invalid_arg "Health.observe: problem extents mismatch";
+  Buf.blit ~src:problem.Problem.f.Grid.buf ~dst:finest.frhs;
+  Buf.blit ~src:problem.Problem.v.Grid.buf ~dst:finest.ebuf;
+  let residual0 = resid_norm st finest in
+  let residuals =
+    Array.init cycles (fun c ->
+        visit st ~cycle:(c + 1)
+          ~level:(Array.length st.levels - 1)
+          ~zero_init:false;
+        (List.hd finest.seen).post)
+  in
+  let cycle_factors =
+    Array.mapi
+      (fun c r ->
+        let prev = if c = 0 then residual0 else residuals.(c - 1) in
+        if prev > 0.0 then r /. prev else Float.nan)
+      residuals
+  in
+  let level_diags = Array.mapi (fun l lv -> diag_of_level lv ~level:l) st.levels in
+  let stalled_level =
+    Array.to_list level_diags
+    |> List.filter_map (fun d ->
+           match d.stalled_at with Some c -> Some (d.level, c) | None -> None)
+    |> List.fold_left
+         (fun best (l, c) ->
+           match best with
+           | Some (_, bc) when bc < c -> best
+           | Some (bl, bc) when bc = c && bl > l -> best
+           | _ -> Some (l, c))
+         None
+    |> Option.map fst
+  in
+  { bench = Cycle.bench_name cfg;
+    dims = cfg.Cycle.dims;
+    n;
+    levels = cfg.Cycle.levels;
+    cycles;
+    residual0;
+    residuals;
+    cycle_factors;
+    asymptotic_factor = asymptotic ~residual0 ~residuals;
+    level_diags;
+    stalled_level }
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let pp ppf r =
+  let final =
+    if Array.length r.residuals = 0 then r.residual0
+    else r.residuals.(Array.length r.residuals - 1)
+  in
+  Format.fprintf ppf "@[<v>== health: %s n=%d, %d cycles ==@," r.bench r.n
+    r.cycles;
+  Format.fprintf ppf
+    "residual %.3e -> %.3e; asymptotic convergence factor %.3f@," r.residual0
+    final r.asymptotic_factor;
+  Format.fprintf ppf "cycle factors:";
+  Array.iter (fun f -> Format.fprintf ppf " %.3f" f) r.cycle_factors;
+  Format.fprintf ppf "@,%-10s %6s %7s %10s %8s  %s@," "level" "nl" "visits"
+    "smoothing" "factor" "stall";
+  for l = Array.length r.level_diags - 1 downto 0 do
+    let d = r.level_diags.(l) in
+    Format.fprintf ppf "%-10s %6d %7d %10.3f %8.3f  %s@,"
+      (Printf.sprintf "L%d%s" d.level
+         (if l = Array.length r.level_diags - 1 then " (fine)" else ""))
+      d.nl
+      (Array.length d.visits)
+      d.smoothing_rate d.level_factor
+      (match d.stalled_at with
+      | Some c -> Printf.sprintf "cycle %d" c
+      | None -> "-")
+  done;
+  (match r.stalled_level with
+  | Some l ->
+    let d = r.level_diags.(l) in
+    Format.fprintf ppf
+      "stall attribution: level %d stopped reducing its residual at cycle %d@,"
+      l
+      (Option.value d.stalled_at ~default:0)
+  | None -> Format.fprintf ppf "stall attribution: no stalls@,");
+  Format.fprintf ppf "@]"
+
+let fnum x = if Float.is_finite x then Json.Num x else Json.Null
+
+let to_json r =
+  Json.Obj
+    [ ("bench", Json.Str r.bench);
+      ("dims", Json.num r.dims);
+      ("n", Json.num r.n);
+      ("levels", Json.num r.levels);
+      ("cycles", Json.num r.cycles);
+      ("residual0", fnum r.residual0);
+      ( "residuals",
+        Json.Arr (Array.to_list (Array.map fnum r.residuals)) );
+      ( "cycle_factors",
+        Json.Arr (Array.to_list (Array.map fnum r.cycle_factors)) );
+      ("asymptotic_factor", fnum r.asymptotic_factor);
+      ( "levels_diag",
+        Json.Arr
+          (Array.to_list
+             (Array.map
+                (fun d ->
+                  Json.Obj
+                    [ ("level", Json.num d.level);
+                      ("nl", Json.num d.nl);
+                      ( "visits",
+                        Json.Arr
+                          (Array.to_list
+                             (Array.map
+                                (fun v ->
+                                  Json.Obj
+                                    [ ("cycle", Json.num v.cycle);
+                                      ("pre", fnum v.pre);
+                                      ("mid", fnum v.mid);
+                                      ("post", fnum v.post) ])
+                                d.visits)) );
+                      ("smoothing_rate", fnum d.smoothing_rate);
+                      ("level_factor", fnum d.level_factor);
+                      ( "stalled_at",
+                        match d.stalled_at with
+                        | Some c -> Json.num c
+                        | None -> Json.Null ) ])
+                r.level_diags)) );
+      ( "stalled_level",
+        match r.stalled_level with
+        | Some l -> Json.num l
+        | None -> Json.Null ) ]
+
+let healthy ?(max_factor = 0.75) r =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (if not (Float.is_finite r.asymptotic_factor) || r.asymptotic_factor <= 0.0
+   then err "asymptotic convergence factor is not a positive finite number"
+   else if r.asymptotic_factor > max_factor then
+     err "asymptotic convergence factor %.3f exceeds %.3f"
+       r.asymptotic_factor max_factor);
+  let final =
+    if Array.length r.residuals = 0 then r.residual0
+    else r.residuals.(Array.length r.residuals - 1)
+  in
+  if not (final < r.residual0) then
+    err "residual did not decrease (%.3e -> %.3e)" r.residual0 final;
+  (match r.stalled_level with
+  | Some l -> err "level %d stalled above the round-off floor" l
+  | None -> ());
+  match !errs with [] -> Ok () | es -> Error (List.rev es)

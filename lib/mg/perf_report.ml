@@ -4,8 +4,7 @@ module Telemetry = Repro_runtime.Telemetry
 module Metrics = Repro_runtime.Metrics
 module Roofline = Repro_runtime.Roofline
 
-let plan_digest plan =
-  Digest.to_hex (Digest.string (Format.asprintf "%a" Plan.summary plan))
+let plan_digest = Plan.digest
 
 (* span name -> (total ns, count); diamond front time keyed by gid *)
 let aggregate spans =
@@ -98,8 +97,8 @@ let stage_json ~execs ~by_name ~front_by_gid ~group_flops ~kinds
 
 let status_str (s : Solver.cycle_stats) = Solver.status_name s.Solver.status
 
-let build ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds ~spans
-    ~counters ~(roofline : Roofline.t) =
+let build ~health ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds
+    ~spans ~counters ~(roofline : Roofline.t) =
   let by_name, front_by_gid = aggregate spans in
   let execs =
     match Hashtbl.find_opt by_name "exec.run" with Some (_, c) -> c | None -> 0
@@ -198,6 +197,10 @@ let build ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds ~spans
       ("groups", groups_json);
       ("cycles", cycles_json);
       ("total_seconds", Json.Num total_seconds);
+      ( "health",
+        match health with
+        | Some h -> Health.to_json h
+        | None -> Json.Null );
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) counters) );
       ("metrics", Metrics.to_json ()) ]

@@ -12,6 +12,7 @@
     share and marked ["attributed": true]. *)
 
 val build :
+  health:Health.report option ->
   cfg:Cycle.config ->
   n:int ->
   variant:string ->

@@ -1,6 +1,8 @@
 module Grid = Repro_grid.Grid
 module Telemetry = Repro_runtime.Telemetry
 module Mempool = Repro_runtime.Mempool
+module Flightrec = Repro_runtime.Flightrec
+module Json = Repro_runtime.Json
 open Repro_core
 
 type status = Ok | Nan | Diverged | Stagnated
@@ -44,6 +46,8 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
   let best = ref Float.infinity in
   let prev = ref Float.infinity in
   for c = 1 to cycles do
+    if Flightrec.on () then
+      Flightrec.emit (Flightrec.Cycle_begin { cycle = c; fallback = false });
     let t0 = Unix.gettimeofday () in
     let t_cycle = Telemetry.begin_span () in
     stepper ~v:!cur ~f:problem.Problem.f ~out:!next;
@@ -70,6 +74,10 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
       if residual < !best then best := residual;
       prev := residual
     end;
+    if Flightrec.on () then
+      Flightrec.emit
+        (Flightrec.Cycle_end
+           { cycle = c; residual; status = status_name status });
     stats := { cycle = c; residual; seconds = dt; status } :: !stats
   done;
   { stats = List.rev !stats; v = !cur; total_seconds = !total }
@@ -83,6 +91,8 @@ let plan_stepper plan ~rt =
   let vin = Cycle.input_v pipeline in
   let fin = Cycle.input_f pipeline in
   let out = Cycle.output pipeline in
+  Flightrec.note_plan ~digest:(Plan.digest plan)
+    ~variant:(Options.name plan.Plan.opts);
   fun ~v ~f ~out:out_grid ->
     Exec.run plan rt ~inputs:[ (vin, v); (fin, f) ]
       ~outputs:[ (out, out_grid) ]
@@ -156,12 +166,40 @@ let solve_governed cfg ~n ~(opts : Options.t) ?(domains = 1) ?poison ~cycles
             None ladder
           |> Option.get
         in
-        Stdlib.Error
-          { Govern.inf_budget =
-              (match budget with Some b -> b | None -> 0);
-            floor_bytes = floor.Govern.peak_bytes;
-            floor_rung = floor.Govern.rname;
-            inf_ladder = ladder }
+        begin
+          if Flightrec.on () then begin
+            Flightrec.emit
+              (Flightrec.Infeasible
+                 { budget_bytes =
+                     (match budget with Some b -> b | None -> 0);
+                   floor_bytes = floor.Govern.peak_bytes;
+                   floor_rung = floor.Govern.rname });
+            ignore
+              (Flightrec.incident ~kind:"budget-infeasible"
+                 ~detail:
+                   [ ( "budget_bytes",
+                       match budget with
+                       | Some b -> Json.num b
+                       | None -> Json.Null );
+                     ("floor_bytes", Json.num floor.Govern.peak_bytes);
+                     ("floor_rung", Json.Str floor.Govern.rname);
+                     ("runtime_demotions", Json.num demotions);
+                     ( "ladder",
+                       Json.Arr
+                         (Array.to_list
+                            (Array.map
+                               (fun (r : Govern.rung) ->
+                                 Json.Str r.Govern.rname)
+                               ladder)) ) ]
+                 ())
+          end;
+          Stdlib.Error
+            { Govern.inf_budget =
+                (match budget with Some b -> b | None -> 0);
+              floor_bytes = floor.Govern.peak_bytes;
+              floor_rung = floor.Govern.rname;
+              inf_ladder = ladder }
+        end
       else if not ladder.(i).Govern.fits then walk (i + 1) demotions
       else
         match
@@ -176,6 +214,9 @@ let solve_governed cfg ~n ~(opts : Options.t) ?(domains = 1) ?poison ~cycles
               g_runtime_demotions = demotions }
         | Stdlib.Error _ ->
           Telemetry.add c_rt_demote 1;
+          if Flightrec.on () then
+            Flightrec.emit
+              (Flightrec.Runtime_demotion { rung = ladder.(i).Govern.rname });
           walk (i + 1) (demotions + 1)
     in
     walk report.Govern.chosen 0

@@ -1,0 +1,337 @@
+(* Flight recorder: per-domain event rings + incident-report dumps.
+   Overhead discipline matches Telemetry: disabled = one atomic load and
+   a predictable branch, no allocation. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generic bounded ring with drop counting. *)
+
+module Ring = struct
+  type 'a t = {
+    cap : int;
+    buf : 'a option array;
+    mutable head : int;  (* next write index *)
+    mutable count : int;
+    mutable drops : int;
+  }
+
+  let create cap =
+    if cap < 1 then invalid_arg "Flightrec.Ring.create: capacity must be >= 1";
+    { cap; buf = Array.make cap None; head = 0; count = 0; drops = 0 }
+
+  let push t x =
+    if t.count = t.cap then t.drops <- t.drops + 1
+    else t.count <- t.count + 1;
+    t.buf.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod t.cap
+
+  let to_list t =
+    let oldest = (t.head - t.count + (2 * t.cap)) mod t.cap in
+    List.init t.count (fun i ->
+        match t.buf.((oldest + i) mod t.cap) with
+        | Some x -> x
+        | None -> assert false)
+
+  let length t = t.count
+  let capacity t = t.cap
+  let dropped t = t.drops
+end
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+type kind =
+  | Cycle_begin of { cycle : int; fallback : bool }
+  | Cycle_end of { cycle : int; residual : float; status : string }
+  | Group_begin of { gid : int; kind : string }
+  | Group_end of { gid : int }
+  | Plan_set of { digest : string; variant : string }
+  | Checkpoint of { cycle : int; residual : float }
+  | Fault of { cycle : int; fault : string }
+  | Rollback of { cycle : int }
+  | Retry of { cycle : int; attempt : int; backoff_s : float }
+  | Fallback_switch of { cycle : int }
+  | Quarantine of { cycle : int; faults : int }
+  | Watchdog_armed of { stage : string; budget_ns : int }
+  | Deadline_trip of { stage : string; elapsed_ns : int; budget_ns : int }
+  | Budget_exceeded of {
+      requested_bytes : int;
+      budget_bytes : int;
+      pool_bytes : int;
+    }
+  | Pool_trim of { dropped_bytes : int }
+  | High_water of { bytes : int; budget_bytes : int }
+  | Demotion of { from_rung : string; to_rung : string; over_bytes : int }
+  | Runtime_demotion of { rung : string }
+  | Infeasible of {
+      budget_bytes : int;
+      floor_bytes : int;
+      floor_rung : string;
+    }
+  | Note of string
+
+type event = { t_ns : int; dom : int; seq : int; kind : kind }
+
+let enabled_flag = Atomic.make false
+let on () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let default_capacity = 512
+let capacity = Atomic.make default_capacity
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Flightrec.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n
+
+(* Global sequence counter: events within one domain's ring are already
+   ordered, the seq gives a total order across domains for the merged
+   tail in incident reports. *)
+let seq_counter = Atomic.make 0
+
+(* Telemetry mirrors (gated on the telemetry flag, like every counter;
+   the ring's own drop count is authoritative for incident reports). *)
+let c_events = Telemetry.counter "flightrec.events"
+let c_dropped = Telemetry.counter "flightrec.dropped"
+let c_incidents = Telemetry.counter "flightrec.incidents"
+let c_suppressed = Telemetry.counter "flightrec.incidents_suppressed"
+
+type dbuf = { dom : int; mutable ring : event Ring.t }
+
+let registry : dbuf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let dbuf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom = (Domain.self () :> int);
+          ring = Ring.create (Atomic.get capacity) }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let emit kind =
+  if Atomic.get enabled_flag then begin
+    let b = Domain.DLS.get dbuf_key in
+    let was_full = Ring.length b.ring = Ring.capacity b.ring in
+    Ring.push b.ring
+      { t_ns = Telemetry.now_ns ();
+        dom = b.dom;
+        seq = Atomic.fetch_and_add seq_counter 1;
+        kind };
+    Telemetry.add c_events 1;
+    if was_full then Telemetry.add c_dropped 1
+  end
+
+let events () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.concat_map (fun b -> Ring.to_list b.ring) bufs
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let dropped_events () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left (fun acc b -> acc + Ring.dropped b.ring) 0 bufs
+
+(* ------------------------------------------------------------------ *)
+(* Plan context *)
+
+let plan_note : (string * string) option Atomic.t = Atomic.make None
+
+let note_plan ~digest ~variant =
+  Atomic.set plan_note (Some (digest, variant));
+  if Atomic.get enabled_flag then emit (Plan_set { digest; variant })
+
+let noted_plan () = Atomic.get plan_note
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let event_fields = function
+  | Cycle_begin { cycle; fallback } ->
+    ("cycle_begin", [ ("cycle", Json.num cycle); ("fallback", Json.Bool fallback) ])
+  | Cycle_end { cycle; residual; status } ->
+    ( "cycle_end",
+      [ ("cycle", Json.num cycle);
+        ("residual", Json.Num residual);
+        ("status", Json.Str status) ] )
+  | Group_begin { gid; kind } ->
+    ("group_begin", [ ("gid", Json.num gid); ("group_kind", Json.Str kind) ])
+  | Group_end { gid } -> ("group_end", [ ("gid", Json.num gid) ])
+  | Plan_set { digest; variant } ->
+    ("plan", [ ("digest", Json.Str digest); ("variant", Json.Str variant) ])
+  | Checkpoint { cycle; residual } ->
+    ( "checkpoint",
+      [ ("cycle", Json.num cycle); ("residual", Json.Num residual) ] )
+  | Fault { cycle; fault } ->
+    ("fault", [ ("cycle", Json.num cycle); ("fault", Json.Str fault) ])
+  | Rollback { cycle } -> ("rollback", [ ("cycle", Json.num cycle) ])
+  | Retry { cycle; attempt; backoff_s } ->
+    ( "retry",
+      [ ("cycle", Json.num cycle);
+        ("attempt", Json.num attempt);
+        ("backoff_s", Json.Num backoff_s) ] )
+  | Fallback_switch { cycle } ->
+    ("fallback_switch", [ ("cycle", Json.num cycle) ])
+  | Quarantine { cycle; faults } ->
+    ("quarantine", [ ("cycle", Json.num cycle); ("faults", Json.num faults) ])
+  | Watchdog_armed { stage; budget_ns } ->
+    ( "watchdog_armed",
+      [ ("stage", Json.Str stage); ("budget_ns", Json.num budget_ns) ] )
+  | Deadline_trip { stage; elapsed_ns; budget_ns } ->
+    ( "deadline_trip",
+      [ ("stage", Json.Str stage);
+        ("elapsed_ns", Json.num elapsed_ns);
+        ("budget_ns", Json.num budget_ns) ] )
+  | Budget_exceeded { requested_bytes; budget_bytes; pool_bytes } ->
+    ( "budget_exceeded",
+      [ ("requested_bytes", Json.num requested_bytes);
+        ("budget_bytes", Json.num budget_bytes);
+        ("pool_bytes", Json.num pool_bytes) ] )
+  | Pool_trim { dropped_bytes } ->
+    ("pool_trim", [ ("dropped_bytes", Json.num dropped_bytes) ])
+  | High_water { bytes; budget_bytes } ->
+    ( "high_water",
+      [ ("bytes", Json.num bytes); ("budget_bytes", Json.num budget_bytes) ] )
+  | Demotion { from_rung; to_rung; over_bytes } ->
+    ( "demotion",
+      [ ("from", Json.Str from_rung);
+        ("to", Json.Str to_rung);
+        ("over_bytes", Json.num over_bytes) ] )
+  | Runtime_demotion { rung } ->
+    ("runtime_demotion", [ ("rung", Json.Str rung) ])
+  | Infeasible { budget_bytes; floor_bytes; floor_rung } ->
+    ( "infeasible",
+      [ ("budget_bytes", Json.num budget_bytes);
+        ("floor_bytes", Json.num floor_bytes);
+        ("floor_rung", Json.Str floor_rung) ] )
+  | Note s -> ("note", [ ("text", Json.Str s) ])
+
+let event_to_json e =
+  let kind, fields = event_fields e.kind in
+  Json.Obj
+    (("kind", Json.Str kind)
+     :: ("seq", Json.num e.seq)
+     :: ("dom", Json.num e.dom)
+     :: ("t_ns", Json.num e.t_ns)
+     :: fields)
+
+(* ------------------------------------------------------------------ *)
+(* Incident reports *)
+
+let incident_dir : string option Atomic.t = Atomic.make None
+let set_incident_dir d = Atomic.set incident_dir d
+
+let max_incidents = Atomic.make 32
+
+let set_max_incidents n =
+  if n < 0 then invalid_arg "Flightrec.set_max_incidents";
+  Atomic.set max_incidents n
+
+let incidents_written = Atomic.make 0
+let incident_count () = Atomic.get incidents_written
+let incident_mutex = Mutex.create ()
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Filenames stay shell- and artifact-safe whatever the kind string. *)
+let sanitize_kind k =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    k
+
+let environment_json () =
+  Json.Obj
+    [ ("ocaml_version", Json.Str Sys.ocaml_version);
+      ("os_type", Json.Str Sys.os_type);
+      ("word_size", Json.num Sys.word_size);
+      ( "argv",
+        Json.Arr (Array.to_list (Array.map (fun a -> Json.Str a) Sys.argv)) )
+    ]
+
+let incident ~kind ?cycle ?(detail = []) () =
+  if not (Atomic.get enabled_flag) then None
+  else
+    match Atomic.get incident_dir with
+    | None -> None
+    | Some dir ->
+      if Atomic.get incidents_written >= Atomic.get max_incidents then begin
+        Telemetry.add c_suppressed 1;
+        None
+      end
+      else begin
+        Mutex.lock incident_mutex;
+        let path =
+          Fun.protect ~finally:(fun () -> Mutex.unlock incident_mutex)
+            (fun () ->
+              let n = Atomic.fetch_and_add incidents_written 1 in
+              let plan_digest, plan_variant =
+                match noted_plan () with
+                | Some (d, v) -> (d, v)
+                | None -> ("", "")
+              in
+              let doc =
+                Json.Obj
+                  [ ("schema", Json.Str "polymg.incident/1");
+                    ("seq", Json.num (n + 1));
+                    ("kind", Json.Str kind);
+                    ( "cycle",
+                      match cycle with
+                      | Some c -> Json.num c
+                      | None -> Json.Null );
+                    ( "plan",
+                      Json.Obj
+                        [ ("digest", Json.Str plan_digest);
+                          ("variant", Json.Str plan_variant) ] );
+                    ("detail", Json.Obj detail);
+                    ("events", Json.Arr (List.map event_to_json (events ())));
+                    ("dropped_events", Json.num (dropped_events ()));
+                    ( "counters",
+                      Json.Obj
+                        (List.map
+                           (fun (k, v) -> (k, Json.num v))
+                           (Telemetry.counters ())) );
+                    ("environment", environment_json ())
+                  ]
+              in
+              ensure_dir dir;
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "incident-%03d-%s.json" (n + 1)
+                     (sanitize_kind kind))
+              in
+              let oc = open_out path in
+              Json.to_channel oc doc;
+              output_char oc '\n';
+              close_out oc;
+              path)
+        in
+        Telemetry.add c_incidents 1;
+        Printf.eprintf "flightrec: incident %s (kind %s%s) -> %s\n%!"
+          (Filename.basename path) kind
+          (match cycle with
+          | Some c -> Printf.sprintf ", cycle %d" c
+          | None -> "")
+          path;
+        Some path
+      end
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun b -> b.ring <- Ring.create (Atomic.get capacity)) !registry;
+  Mutex.unlock registry_mutex;
+  Atomic.set seq_counter 0;
+  Atomic.set incidents_written 0;
+  Atomic.set plan_note None

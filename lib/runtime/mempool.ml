@@ -65,6 +65,9 @@ type t = {
   mutable live_bytes : int;
   mutable pool_bytes : int;
   mutable peak_live_bytes : int;
+  mutable hw_next_quarter : int;
+      (* next quarter-of-budget threshold (1..4) the recorder has not
+         yet seen live_bytes cross; 5 = all reported *)
 }
 
 let create ?(poison = false) ?budget () =
@@ -78,7 +81,8 @@ let create ?(poison = false) ?budget () =
     reuse_hits = 0;
     live_bytes = 0;
     pool_bytes = 0;
-    peak_live_bytes = 0 }
+    peak_live_bytes = 0;
+    hw_next_quarter = 1 }
 
 let poisoned t = t.poison
 
@@ -97,7 +101,21 @@ let note_live t delta =
   if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes;
   Telemetry.max_to c_peak t.peak_live_bytes;
   Telemetry.max_to c_high_water t.peak_live_bytes;
-  Metrics.set_gauge g_high_water (float_of_int t.peak_live_bytes)
+  Metrics.set_gauge g_high_water (float_of_int t.peak_live_bytes);
+  (* Flight-recorder breadcrumbs as live bytes cross each quarter of the
+     budget: cheap (at most 4 events per pool lifetime), and the tail
+     shows how close to the ceiling the solve was running. *)
+  match t.budget with
+  | Some b when t.hw_next_quarter <= 4 ->
+    while
+      t.hw_next_quarter <= 4 && 4 * t.live_bytes >= t.hw_next_quarter * b
+    do
+      if Flightrec.on () then
+        Flightrec.emit
+          (Flightrec.High_water { bytes = t.live_bytes; budget_bytes = b });
+      t.hw_next_quarter <- t.hw_next_quarter + 1
+    done
+  | Some _ | None -> ()
 
 (* Best fit: smallest free buffer that is large enough. *)
 let find_fit t need =
@@ -147,9 +165,16 @@ let trim_for t need_bytes budget =
       drop (e :: dropped) rest
   in
   let dropped = drop [] frees in
-  if dropped <> [] then
+  if dropped <> [] then begin
+    if Flightrec.on () then
+      Flightrec.emit
+        (Flightrec.Pool_trim
+           { dropped_bytes =
+               List.fold_left (fun acc e -> acc + Buf.bytes e.raw) 0 dropped
+           });
     t.entries <-
       List.filter (fun e -> not (List.memq e dropped)) t.entries
+  end
 
 let acquire t len =
   if len < 0 then invalid_arg "Mempool.acquire: negative length";
@@ -167,6 +192,12 @@ let acquire t len =
        trim_for t need_bytes b;
        if t.pool_bytes + need_bytes > b then begin
          Telemetry.add c_budget_exceeded 1;
+         if Flightrec.on () then
+           Flightrec.emit
+             (Flightrec.Budget_exceeded
+                { requested_bytes = need_bytes;
+                  budget_bytes = b;
+                  pool_bytes = t.pool_bytes });
          raise
            (Budget_exceeded
               { requested_bytes = need_bytes;
@@ -232,7 +263,8 @@ let clear t =
   t.reuse_hits <- 0;
   t.live_bytes <- 0;
   t.pool_bytes <- 0;
-  t.peak_live_bytes <- 0
+  t.peak_live_bytes <- 0;
+  t.hw_next_quarter <- 1
 
 let with_pool ?poison ?budget f =
   let t = create ?poison ?budget () in

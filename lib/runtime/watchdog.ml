@@ -35,7 +35,9 @@ let arm ~stage ~budget_ns =
        { stage;
          start_ns;
          deadline_ns = start_ns + budget_ns;
-         tripped = Atomic.make false })
+         tripped = Atomic.make false });
+  if Flightrec.on () then
+    Flightrec.emit (Flightrec.Watchdog_armed { stage; budget_ns })
 
 let disarm () = Atomic.set state None
 
@@ -52,8 +54,15 @@ let check () =
   | Some s ->
     let now = Telemetry.now_ns () in
     if now > s.deadline_ns then begin
-      if Atomic.compare_and_set s.tripped false true then
+      if Atomic.compare_and_set s.tripped false true then begin
         Telemetry.add c_trips 1;
+        if Flightrec.on () then
+          Flightrec.emit
+            (Flightrec.Deadline_trip
+               { stage = s.stage;
+                 elapsed_ns = now - s.start_ns;
+                 budget_ns = s.deadline_ns - s.start_ns })
+      end;
       raise
         (Deadline_exceeded
            { stage = s.stage;

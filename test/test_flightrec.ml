@@ -1,0 +1,311 @@
+(* Flight-recorder semantics: ring-buffer edge cases, multi-domain
+   interleaving, drop accounting, and incident-dump determinism (the
+   property leg replays under QCHECK_SEED like every property suite). *)
+
+open Repro_runtime
+module Ring = Flightrec.Ring
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer *)
+
+let test_ring_wraparound () =
+  let r = Ring.create 4 in
+  check_int "empty length" 0 (Ring.length r);
+  check_int "capacity" 4 (Ring.capacity r);
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  Alcotest.(check (list int)) "oldest-first tail" [ 7; 8; 9; 10 ]
+    (Ring.to_list r);
+  check_int "length saturates" 4 (Ring.length r);
+  check_int "dropped counts overwrites" 6 (Ring.dropped r)
+
+let test_ring_partial () =
+  let r = Ring.create 8 in
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  Alcotest.(check (list int)) "no wrap: insertion order" [ 1; 2; 3 ]
+    (Ring.to_list r);
+  check_int "no drops below capacity" 0 (Ring.dropped r)
+
+let test_ring_capacity_one () =
+  let r = Ring.create 1 in
+  Ring.push r 41;
+  Alcotest.(check (list int)) "holds one" [ 41 ] (Ring.to_list r);
+  Ring.push r 42;
+  Ring.push r 43;
+  Alcotest.(check (list int)) "keeps only the newest" [ 43 ] (Ring.to_list r);
+  check_int "two overwrites" 2 (Ring.dropped r)
+
+let test_ring_bad_capacity () =
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Flightrec.Ring.create: capacity must be >= 1")
+    (fun () -> ignore (Ring.create 0))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder: drops, ordering, multi-domain interleaving *)
+
+(* reset-bracket a test so recorder state never bleeds across tests *)
+let with_recorder ?(capacity = 512) f () =
+  Flightrec.set_capacity capacity;
+  Flightrec.reset ();
+  Flightrec.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Flightrec.set_enabled false;
+      Flightrec.set_capacity 512;
+      Flightrec.reset ())
+    f
+
+let test_emit_drop_counting =
+  with_recorder ~capacity:8 (fun () ->
+      for c = 1 to 20 do
+        Flightrec.emit (Flightrec.Checkpoint { cycle = c; residual = 0.0 })
+      done;
+      let events = Flightrec.events () in
+      check_int "ring keeps capacity" 8 (List.length events);
+      check_int "overflow counted" 12 (Flightrec.dropped_events ());
+      let cycles =
+        List.map
+          (fun (e : Flightrec.event) ->
+            match e.Flightrec.kind with
+            | Flightrec.Checkpoint { cycle; _ } -> cycle
+            | _ -> -1)
+          events
+      in
+      Alcotest.(check (list int)) "newest tail survives"
+        [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+        cycles)
+
+let test_multi_domain_interleaving =
+  with_recorder (fun () ->
+      let per_domain = 100 in
+      let emit_range () =
+        for c = 1 to per_domain do
+          Flightrec.emit (Flightrec.Checkpoint { cycle = c; residual = 0.0 })
+        done
+      in
+      let doms = Array.init 3 (fun _ -> Domain.spawn emit_range) in
+      emit_range ();
+      Array.iter Domain.join doms;
+      let events = Flightrec.events () in
+      check_int "all domains' events retained" (4 * per_domain)
+        (List.length events);
+      check_int "nothing dropped" 0 (Flightrec.dropped_events ());
+      (* merged view is in strictly increasing global seq order *)
+      let seqs = List.map (fun e -> e.Flightrec.seq) events in
+      check_bool "seq strictly increasing" true
+        (List.for_all2 (fun a b -> a < b) seqs (List.tl seqs @ [ max_int ]));
+      (* at least two distinct domains actually recorded concurrently *)
+      let domains =
+        List.sort_uniq compare (List.map (fun e -> e.Flightrec.dom) events)
+      in
+      check_bool "several domains recorded" true (List.length domains >= 2);
+      (* per domain, emission order is preserved in the merged list *)
+      List.iter
+        (fun d ->
+          let cycles =
+            List.filter_map
+              (fun (e : Flightrec.event) ->
+                if e.Flightrec.dom = d then
+                  match e.Flightrec.kind with
+                  | Flightrec.Checkpoint { cycle; _ } -> Some cycle
+                  | _ -> None
+                else None)
+              events
+          in
+          check_bool
+            (Printf.sprintf "domain %d in emission order" d)
+            true
+            (cycles = List.init per_domain (fun i -> i + 1)))
+        domains)
+
+let test_disabled_is_silent =
+  with_recorder (fun () ->
+      Flightrec.set_enabled false;
+      Flightrec.emit (Flightrec.Note "should vanish");
+      check_int "no event recorded while disabled" 0
+        (List.length (Flightrec.events ()));
+      check_bool "incident refused while disabled" true
+        (Flightrec.incident ~kind:"test" () = None))
+
+(* ------------------------------------------------------------------ *)
+(* Incident dumps *)
+
+let temp_incident_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flightrec-test-%d-%s" (Unix.getpid ()) tag)
+  in
+  (* fresh per run: stale files would alias incident numbering *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_incident_dump =
+  with_recorder (fun () ->
+      let dir = temp_incident_dir "dump" in
+      Flightrec.set_incident_dir (Some dir);
+      Fun.protect
+        ~finally:(fun () -> Flightrec.set_incident_dir None)
+        (fun () ->
+          Flightrec.note_plan ~digest:"cafe" ~variant:"opt+";
+          Flightrec.emit
+            (Flightrec.Fault { cycle = 3; fault = "nan" });
+          match
+            Flightrec.incident ~kind:"nan" ~cycle:3
+              ~detail:[ ("fault", Json.Str "nan") ]
+              ()
+          with
+          | None -> Alcotest.fail "incident not written"
+          | Some path ->
+            check_bool "file exists" true (Sys.file_exists path);
+            let doc =
+              match Json.parse (read_file path) with
+              | Ok d -> d
+              | Error m -> Alcotest.fail ("unparseable incident: " ^ m)
+            in
+            let mem k = Option.value (Json.member k doc) ~default:Json.Null in
+            check_bool "schema" true
+              (Json.to_str (mem "schema") = Some "polymg.incident/1");
+            check_bool "kind" true (Json.to_str (mem "kind") = Some "nan");
+            check_bool "cycle" true (Json.to_int (mem "cycle") = Some 3);
+            check_bool "plan digest" true
+              (Option.bind (Json.member "plan" doc) (Json.member "digest")
+               |> Option.map Json.to_str
+               = Some (Some "cafe"));
+            check_bool "events present" true
+              (Json.to_list (mem "events") <> []);
+            check_int "incident counted" 1 (Flightrec.incident_count ())))
+
+let test_incident_cap =
+  with_recorder (fun () ->
+      let dir = temp_incident_dir "cap" in
+      Flightrec.set_incident_dir (Some dir);
+      Flightrec.set_max_incidents 1;
+      Fun.protect
+        ~finally:(fun () ->
+          Flightrec.set_max_incidents 32;
+          Flightrec.set_incident_dir None)
+        (fun () ->
+          Flightrec.emit (Flightrec.Note "x");
+          check_bool "first incident written" true
+            (Flightrec.incident ~kind:"first" () <> None);
+          check_bool "second suppressed by cap" true
+            (Flightrec.incident ~kind:"second" () = None);
+          check_int "only one counted" 1 (Flightrec.incident_count ())))
+
+(* ------------------------------------------------------------------ *)
+(* Incident-dump determinism (property, QCHECK_SEED-replayable):
+   re-emitting the same event sequence from reset state dumps the same
+   report, once the wall-clock fields are masked. *)
+
+let rec mask_volatile (j : Json.t) : Json.t =
+  match j with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           if k = "t_ns" then (k, Json.Null) else (k, mask_volatile v))
+         fields)
+  | Json.Arr l -> Json.Arr (List.map mask_volatile l)
+  | other -> other
+
+let gen_kind =
+  QCheck.Gen.(
+    oneof
+      [ map
+          (fun c -> Flightrec.Cycle_begin { cycle = c; fallback = c mod 2 = 0 })
+          (int_bound 50);
+        map
+          (fun c ->
+            Flightrec.Cycle_end
+              { cycle = c; residual = float_of_int c /. 7.0; status = "ok" })
+          (int_bound 50);
+        map (fun g -> Flightrec.Group_begin { gid = g; kind = "tiled" })
+          (int_bound 9);
+        map (fun g -> Flightrec.Group_end { gid = g }) (int_bound 9);
+        map
+          (fun c -> Flightrec.Fault { cycle = c; fault = "nan" })
+          (int_bound 50);
+        map (fun c -> Flightrec.Rollback { cycle = c }) (int_bound 50);
+        map
+          (fun b ->
+            Flightrec.High_water { bytes = b; budget_bytes = 2 * b + 1 })
+          (int_bound 1_000_000);
+        map (fun s -> Flightrec.Note (Printf.sprintf "n%d" s)) (int_bound 99)
+      ])
+
+let arb_kinds =
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "<%d events>" (List.length l))
+    QCheck.Gen.(list_size (int_range 1 40) gen_kind)
+
+let dump_masked ~dir kinds =
+  Flightrec.set_capacity 16;
+  Flightrec.reset ();
+  Flightrec.set_enabled true;
+  Flightrec.set_incident_dir (Some dir);
+  Flightrec.note_plan ~digest:"feed" ~variant:"opt+";
+  List.iter Flightrec.emit kinds;
+  let path =
+    match
+      Flightrec.incident ~kind:"replay" ~cycle:1
+        ~detail:[ ("n", Json.num (List.length kinds)) ]
+        ()
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "incident not written"
+  in
+  Flightrec.set_incident_dir None;
+  Flightrec.set_enabled false;
+  let doc =
+    match Json.parse (read_file path) with
+    | Ok d -> d
+    | Error m -> Alcotest.fail ("unparseable incident: " ^ m)
+  in
+  Sys.remove path;
+  mask_volatile doc
+
+let prop_incident_deterministic =
+  QCheck.Test.make ~count:30 ~name:"incident dump is deterministic"
+    arb_kinds
+    (fun kinds ->
+      let dir = temp_incident_dir "replay" in
+      let a = dump_masked ~dir kinds in
+      let b = dump_masked ~dir kinds in
+      Flightrec.set_capacity 512;
+      Flightrec.reset ();
+      a = b)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "flightrec"
+    [ ( "ring",
+        [ ("wraparound ordering", `Quick, test_ring_wraparound);
+          ("partial fill", `Quick, test_ring_partial);
+          ("capacity one", `Quick, test_ring_capacity_one);
+          ("bad capacity", `Quick, test_ring_bad_capacity) ] );
+      ( "recorder",
+        [ ("drop counting", `Quick, test_emit_drop_counting);
+          ("multi-domain interleaving", `Quick, test_multi_domain_interleaving);
+          ("disabled is silent", `Quick, test_disabled_is_silent) ] );
+      ( "incidents",
+        [ ("dump contents", `Quick, test_incident_dump);
+          ("per-process cap", `Quick, test_incident_cap) ] );
+      ( "properties",
+        [ Qc_replay.to_alcotest prop_incident_deterministic ] ) ]
