@@ -14,7 +14,7 @@
 let audited name =
   List.exists
     (fun p -> String.starts_with ~prefix:p name)
-    [ "guard."; "govern."; "flightrec." ]
+    [ "guard."; "govern."; "flightrec."; "snapshot." ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -75,7 +75,10 @@ let () =
     (* stale direction: documented rows (backquoted names in a table
        column) that no code declares anymore *)
     let stale =
-      let re = Str.regexp "`\\(\\(guard\\|govern\\|flightrec\\)\\.[a-z_.]+\\)`" in
+      let re =
+        Str.regexp
+          "`\\(\\(guard\\|govern\\|flightrec\\|snapshot\\)\\.[a-z_.]+\\)`"
+      in
       let rec collect i acc =
         match Str.search_forward re doc_text i with
         | exception Not_found -> acc

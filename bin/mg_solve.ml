@@ -32,7 +32,8 @@ let print_status_summary stats =
 
 let run dims cycle smoothing levels n variant cycles domains verbose profile
     trace metrics tol max_cycles guard no_fallback poison mem_budget deadline
-    conform health no_flightrec incident_dir =
+    conform health no_flightrec incident_dir checkpoint_dir checkpoint_every
+    resume =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -111,6 +112,129 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
   let problem = Problem.poisson ~dims ~n in
   let guard_mode = guard || tol <> None in
   let governed_mode = mem_budget <> None && not guard_mode in
+  (* ---- durable checkpoint/restart ---------------------------------- *)
+  if resume && checkpoint_dir = None then begin
+    prerr_endline "--resume requires --checkpoint-dir";
+    exit 2
+  end;
+  if checkpoint_every < 1 then begin
+    prerr_endline "--checkpoint-every must be >= 1";
+    exit 2
+  end;
+  (* The active plan digest is needed before the solve starts: resume
+     compares it against the checkpoint's, and the sink stamps it into
+     every generation.  PolyMG plans are built once here and reused by
+     the solve paths below (handopt baselines have no plan). *)
+  let preplan, ck_digest =
+    match checkpoint_dir with
+    | None -> (None, None)
+    | Some _ -> (
+      match polymg_opts with
+      | Some opts ->
+        let p = Solver.polymg_plan cfg ~n ~opts in
+        (Some p, Some (Plan.digest p))
+      | None -> (None, Some "handopt"))
+  in
+  (* note the plan before any resume incident can fire, so a
+     checkpoint-rejected or resume-replan report carries the digest *)
+  (match ck_digest with
+   | Some d -> Flightrec.note_plan ~digest:d ~variant
+   | None -> ());
+  let resume_state =
+    match (resume, checkpoint_dir) with
+    | true, Some dir -> (
+      match Checkpoint.load_latest ~dir with
+      | Error msg ->
+        Printf.eprintf "resume: %s\n" msg;
+        exit 6
+      | Ok r ->
+        let st = r.Checkpoint.state in
+        if st.Checkpoint.dims <> dims || st.Checkpoint.n <> n then begin
+          Printf.eprintf
+            "resume: checkpoint is for dims=%d N=%d, not dims=%d N=%d\n"
+            st.Checkpoint.dims st.Checkpoint.n dims n;
+          exit 6
+        end;
+        let cur = Option.get ck_digest in
+        if st.Checkpoint.plan_digest <> cur then begin
+          (* configuration drifted since the checkpoint: re-plan under
+             the current options, keep the restored iterate *)
+          if Flightrec.on () then
+            Flightrec.emit
+              (Flightrec.Resume_replan
+                 { old_digest = st.Checkpoint.plan_digest;
+                   new_digest = cur });
+          ignore
+            (Flightrec.incident ~kind:"resume-replan"
+               ~cycle:st.Checkpoint.cycle
+               ~detail:
+                 [ ("checkpoint_digest", Json.Str st.Checkpoint.plan_digest);
+                   ("checkpoint_variant", Json.Str st.Checkpoint.variant);
+                   ("current_digest", Json.Str cur);
+                   ("current_variant", Json.Str variant) ]
+               ())
+        end;
+        Printf.printf "resume: generation %d (cycle %d, residual %.6e)%s\n"
+          r.Checkpoint.gen st.Checkpoint.cycle st.Checkpoint.residual
+          (match r.Checkpoint.rejected with
+           | [] -> ""
+           | l ->
+             Printf.sprintf "  [%d corrupt generation(s) skipped]"
+               (List.length l));
+        Some st)
+    | _ -> None
+  in
+  let problem =
+    match resume_state with
+    | Some st -> { problem with Problem.v = st.Checkpoint.v }
+    | None -> problem
+  in
+  let start_cycle =
+    match resume_state with
+    | Some st -> st.Checkpoint.cycle + 1
+    | None -> 1
+  in
+  let sink =
+    match checkpoint_dir with
+    | None -> None
+    | Some dir ->
+      let ccfg =
+        { Checkpoint.dir;
+          every =
+            Checkpoint.effective_every ~every:checkpoint_every ~deadline;
+          keep = Checkpoint.default_keep }
+      in
+      Some
+        (Checkpoint.sink ccfg ~dims ~n ~variant
+           ~plan_digest:(Option.get ck_digest)
+           ?history_prefix:
+             (Option.map (fun st -> st.Checkpoint.history) resume_state)
+           ())
+  in
+  (* SIGINT/SIGTERM: flush a final generation plus an incident report,
+     then die with the conventional 128+signum status *)
+  (match sink with
+   | None -> ()
+   | Some s ->
+     let on_signal signum =
+       let flushed = s.Checkpoint.flush () in
+       ignore
+         (Flightrec.incident ~kind:"interrupted"
+            ~detail:
+              [ ( "signal",
+                  Json.Str
+                    (if signum = Sys.sigint then "SIGINT" else "SIGTERM") );
+                ( "checkpoint",
+                  match flushed with
+                  | Some p -> Json.Str p
+                  | None -> Json.Null ) ]
+            ());
+       exit (128 + if signum = Sys.sigint then 2 else 15)
+     in
+     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal));
+  let on_accept = Option.map (fun s -> s.Checkpoint.on_accept) sink in
+  (* ------------------------------------------------------------------ *)
   Printf.printf "%s  N=%d  levels=%d  variant=%s  domains=%d%s\n"
     (Cycle.bench_name cfg) n levels variant domains
     (if poison then "  poison=on" else "");
@@ -126,15 +250,26 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
          ~detail:[ ("exception", Json.Str (Printexc.to_string e)) ]
          ())
   in
+  let cycle_budget =
+    if guard_mode then Option.value max_cycles ~default:cycles else cycles
+  in
+  let cycles_left = cycle_budget - start_cycle + 1 in
   let stats, v, total_seconds =
+    match resume_state with
+    | Some st when cycles_left < 1 ->
+      (* the checkpoint already covers the requested budget *)
+      Printf.printf "resume: cycle %d already meets the %d-cycle budget\n"
+        st.Checkpoint.cycle cycle_budget;
+      (st.Checkpoint.history, st.Checkpoint.v, 0.0)
+    | _ ->
     try
     if governed_mode then begin
       (* Budgeted solve: Govern picks the ladder rung, Mempool enforces
          the budget, Budget_exceeded demotes instead of aborting. *)
       let opts = Option.get polymg_opts in
       match
-        Solver.solve_governed cfg ~n ~opts ~domains ~poison ~cycles ~problem
-          ()
+        Solver.solve_governed cfg ~n ~opts ~domains ~poison
+          ~cycles:cycles_left ~start_cycle ?on_accept ~problem ()
       with
       | exception (Repro_runtime.Watchdog.Deadline_exceeded _ as e) ->
         incident_deadline e;
@@ -183,8 +318,13 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
           match polymg_opts with
           | Some opts ->
             (* build once; the metrics report reuses the same plan so its
-               stage names match the executed spans *)
-            let plan = Solver.polymg_plan cfg ~n ~opts in
+               stage names match the executed spans (the checkpoint path
+               may already have built it for the digest) *)
+            let plan =
+              match preplan with
+              | Some p -> p
+              | None -> Solver.polymg_plan cfg ~n ~opts
+            in
             plan_ref := Some plan;
             if verbose then Format.printf "%a@." Plan.summary plan;
             Solver.plan_stepper plan ~rt
@@ -213,7 +353,17 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
             Some
               (fun () -> Solver.polymg_stepper cfg ~n ~opts:fallback_opts ~rt)
         in
-        let r = Guard.run ~policy ~primary:stepper ?fallback ~problem () in
+        let checkpoint =
+          Option.map
+            (fun s ->
+              { Guard.ck_accept = s.Checkpoint.on_accept;
+                ck_restore = s.Checkpoint.restore })
+            sink
+        in
+        let r =
+          Guard.run ~policy ?checkpoint ~start_cycle ~primary:stepper
+            ?fallback ~problem ()
+        in
         Telemetry.set_enabled false;
         print_stats r.Guard.stats;
         List.iter
@@ -239,7 +389,9 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
       end
       else begin
         let r =
-          try Solver.iterate stepper ~problem ~cycles ()
+          try
+            Solver.iterate stepper ~problem ~cycles:cycles_left ~start_cycle
+              ?on_accept ()
           with Repro_runtime.Watchdog.Deadline_exceeded _ as e ->
             incident_deadline e;
             Telemetry.set_enabled false;
@@ -258,6 +410,15 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
            ());
       raise e
   in
+  (* final checkpoint: the last accepted cycle is durable even when the
+     cadence did not land on it *)
+  (match sink with
+   | None -> ()
+   | Some s -> (
+     match s.Checkpoint.flush () with
+     | Some path ->
+       if verbose then Printf.printf "checkpoint: final flush -> %s\n" path
+     | None -> ()));
   let err = Verify.error_l2 ~v ~exact:problem.Problem.exact in
   Printf.printf "total %.4fs; error vs continuous solution: %.6e\n"
     total_seconds err;
@@ -482,6 +643,42 @@ let incident_dir_t =
            digest, policy, residual history, counters, environment — is \
            written there and summarized on stderr.")
 
+let checkpoint_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for durable solver checkpoints.  Every \
+           --checkpoint-every accepted cycles the solver state (iterate, \
+           residual history, plan digest) is written atomically as a new \
+           generation (ckpt-NNNNNN.snap, CRC-framed; see README Crash \
+           safety); the last 3 generations are retained and a final \
+           generation is flushed at solve end and on SIGINT/SIGTERM.")
+
+let checkpoint_every_t =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Checkpoint cadence in accepted cycles (default 1).  Under a \
+           --deadline the cadence is clamped to every cycle, so a \
+           deadline stop never loses more than one cycle of work.")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the newest verifiable generation in \
+           --checkpoint-dir: corrupt (torn, truncated, bit-flipped) \
+           generations are detected by CRC framing and skipped for older \
+           ones.  The restored cycle count continues toward --cycles (or \
+           --max-cycles under --guard).  If the stored plan digest \
+           differs from the current configuration the solve re-plans and \
+           records a resume-replan incident.  Exits 6 when no usable \
+           generation exists.")
+
 let cmd =
   let doc = "solve the Poisson problem with PolyMG geometric multigrid" in
   let exits =
@@ -497,6 +694,11 @@ let cmd =
          ~doc:
            "memory budget infeasible: no degradation-ladder rung fits \
             --mem-budget."
+    :: Cmd.Exit.info 6
+         ~doc:
+           "resume failed: --checkpoint-dir holds no usable checkpoint \
+            generation (or the checkpoint is for a different problem \
+            size)."
     :: Cmd.Exit.defaults
   in
   Cmd.v
@@ -506,6 +708,6 @@ let cmd =
       $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ metrics_t
       $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t
       $ mem_budget_t $ deadline_t $ conform_t $ health_t $ no_flightrec_t
-      $ incident_dir_t)
+      $ incident_dir_t $ checkpoint_dir_t $ checkpoint_every_t $ resume_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,307 @@
+module Grid = Repro_grid.Grid
+module Snapshot = Repro_runtime.Snapshot
+module Telemetry = Repro_runtime.Telemetry
+module Flightrec = Repro_runtime.Flightrec
+module Json = Repro_runtime.Json
+
+type state = {
+  cycle : int;
+  residual : float;
+  dims : int;
+  n : int;
+  variant : string;
+  plan_digest : string;
+  seed : int;
+  history : Solver.cycle_stats list;
+  v : Grid.t;
+}
+
+type config = { dir : string; every : int; keep : int }
+
+let default_keep = 3
+
+let effective_every ~every ~deadline =
+  if every < 1 then invalid_arg "Checkpoint: every must be >= 1";
+  match deadline with Some _ -> 1 | None -> every
+
+let c_writes = Telemetry.counter "guard.checkpoint_writes"
+let c_restores = Telemetry.counter "guard.checkpoint_restores"
+let c_rejected = Telemetry.counter "guard.checkpoint_rejected"
+let c_pruned = Telemetry.counter "guard.checkpoint_pruned"
+
+let gen_path ~dir g = Filename.concat dir (Printf.sprintf "ckpt-%06d.snap" g)
+
+let gen_of_name name =
+  if String.length name > 10
+     && String.sub name 0 5 = "ckpt-"
+     && Filename.check_suffix name ".snap"
+  then int_of_string_opt (String.sub name 5 (String.length name - 10))
+  else None
+
+let generations ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map gen_of_name
+    |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let status_name_of = Solver.status_name
+
+let status_of_name = function
+  | "ok" -> Some Solver.Ok
+  | "nan" -> Some Solver.Nan
+  | "diverged" -> Some Solver.Diverged
+  | "stagnated" -> Some Solver.Stagnated
+  | _ -> None
+
+let meta_of_state st =
+  let fnum x = if Float.is_finite x then Json.Num x else Json.Null in
+  Json.Obj
+    [ ("kind", Json.Str "mg-checkpoint");
+      ("cycle", Json.num st.cycle);
+      ("residual", fnum st.residual);
+      ("dims", Json.num st.dims);
+      ("n", Json.num st.n);
+      ("variant", Json.Str st.variant);
+      ("plan_digest", Json.Str st.plan_digest);
+      ("seed", Json.num st.seed);
+      ( "extents",
+        Json.Arr
+          (Array.to_list
+             (Array.map (fun e -> Json.num e) (Grid.extents st.v))) );
+      ( "history",
+        Json.Arr
+          (List.map
+             (fun (s : Solver.cycle_stats) ->
+               Json.Obj
+                 [ ("cycle", Json.num s.Solver.cycle);
+                   ("residual", fnum s.Solver.residual);
+                   ("seconds", Json.Num s.Solver.seconds);
+                   ("status", Json.Str (status_name_of s.Solver.status)) ])
+             st.history) ) ]
+
+let ensure_dir dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      let parent = Filename.dirname d in
+      if parent <> d then go parent;
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let prune config ~newest =
+  (* Only after the newest generation is durably in place: delete
+     generations beyond [keep] (never [newest]) and temp droppings left
+     by writers that were killed mid-write. *)
+  let gens = generations ~dir:config.dir in
+  let keep = max 1 config.keep in
+  let excess = List.length gens - keep in
+  if excess > 0 then
+    List.iteri
+      (fun i g ->
+        if i < excess && g <> newest then begin
+          (try Sys.remove (gen_path ~dir:config.dir g)
+           with Sys_error _ -> ());
+          Telemetry.add c_pruned 1
+        end)
+      gens;
+  match Sys.readdir config.dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    (* droppings look like ckpt-NNNNNN.snap.tmp.PID, left by writers
+       killed mid-write; only one process writes a checkpoint dir at a
+       time and this process is between writes, so removal is safe *)
+    Array.iter
+      (fun name ->
+        if
+          String.length name > 5
+          && String.sub name 0 5 = "ckpt-"
+          && not (Filename.check_suffix name ".snap")
+        then
+          try Sys.remove (Filename.concat config.dir name)
+          with Sys_error _ -> ())
+      entries
+
+let save config st =
+  ensure_dir config.dir;
+  let path = gen_path ~dir:config.dir st.cycle in
+  Snapshot.write ~path ~meta:(meta_of_state st)
+    ~payloads:[ Snapshot.payload_of_buf st.v.Grid.buf ];
+  Telemetry.add c_writes 1;
+  if Flightrec.on () then
+    Flightrec.emit
+      (Flightrec.Checkpoint_write { gen = st.cycle; cycle = st.cycle });
+  prune config ~newest:st.cycle;
+  path
+
+let mem k d = Option.value (Json.member k d) ~default:Json.Null
+
+let load ~path =
+  match Snapshot.read ~path with
+  | Error m -> Error m
+  | Ok (meta, payloads) -> (
+    let int k = Json.to_int (mem k meta) in
+    let str k = Json.to_str (mem k meta) in
+    match (str "kind", int "cycle", int "dims", int "n") with
+    | Some "mg-checkpoint", Some cycle, Some dims, Some n -> (
+      let extents =
+        List.filter_map Json.to_int (Json.to_list (mem "extents" meta))
+      in
+      let history =
+        Json.to_list (mem "history" meta)
+        |> List.filter_map (fun h ->
+               match
+                 ( Json.to_int (mem "cycle" h),
+                   Json.to_str (mem "status" h) )
+               with
+               | Some cycle, Some status_name -> (
+                 match status_of_name status_name with
+                 | Some status ->
+                   Some
+                     { Solver.cycle;
+                       residual =
+                         Option.value
+                           (Json.to_float (mem "residual" h))
+                           ~default:Float.nan;
+                       seconds =
+                         Option.value
+                           (Json.to_float (mem "seconds" h))
+                           ~default:0.0;
+                       status }
+                 | None -> None)
+               | _ -> None)
+      in
+      match (extents, payloads) with
+      | [], _ -> Error "metadata: missing extents"
+      | extents, [ payload ] -> (
+        let v = Grid.create (Array.of_list extents) in
+        match Snapshot.payload_to_buf payload v.Grid.buf with
+        | Error m -> Error ("grid payload: " ^ m)
+        | Ok () ->
+          Ok
+            { cycle;
+              residual =
+                Option.value
+                  (Json.to_float (mem "residual" meta))
+                  ~default:Float.nan;
+              dims;
+              n;
+              variant = Option.value (str "variant") ~default:"";
+              plan_digest = Option.value (str "plan_digest") ~default:"";
+              seed = Option.value (int "seed") ~default:0;
+              history;
+              v })
+      | _, payloads ->
+        Error
+          (Printf.sprintf "expected 1 grid payload, found %d"
+             (List.length payloads)))
+    | _ -> Error "metadata: not an mg-checkpoint")
+
+type resume = {
+  gen : int;
+  state : state;
+  rejected : (int * string) list;
+}
+
+let load_latest ~dir =
+  let gens = List.rev (generations ~dir) in
+  if gens = [] then
+    Error (Printf.sprintf "no checkpoint generation in %s" dir)
+  else
+    let rec walk rejected = function
+      | [] ->
+        Error
+          (Printf.sprintf
+             "no usable checkpoint generation in %s (%d present, all \
+              rejected: %s)"
+             dir
+             (List.length gens)
+             (String.concat "; "
+                (List.rev_map
+                   (fun (g, m) -> Printf.sprintf "gen %d: %s" g m)
+                   rejected)))
+      | g :: older -> (
+        match load ~path:(gen_path ~dir g) with
+        | Ok state ->
+          Telemetry.add c_restores 1;
+          Ok { gen = g; state; rejected = List.rev rejected }
+        | Error m ->
+          Telemetry.add c_rejected 1;
+          if Flightrec.on () then begin
+            Flightrec.emit (Flightrec.Checkpoint_reject { gen = g; reason = m });
+            ignore
+              (Flightrec.incident ~kind:"checkpoint-rejected"
+                 ~detail:
+                   [ ("generation", Json.num g);
+                     ("reason", Json.Str m);
+                     ("dir", Json.Str dir);
+                     ( "older_generations",
+                       Json.Arr (List.map (fun g -> Json.num g) older) ) ]
+                 ())
+          end;
+          walk ((g, m) :: rejected) older)
+    in
+    walk [] gens
+
+(* ------------------------------------------------------------------ *)
+(* Periodic sink *)
+
+type sink = {
+  on_accept :
+    cycle:int -> residual:float -> v:Grid.t ->
+    stats:Solver.cycle_stats list -> unit;
+  flush : unit -> string option;
+  restore : unit -> (int * float * Grid.t) option;
+}
+
+let sink config ~dims ~n ~variant ~plan_digest ?(seed = 0)
+    ?(history_prefix = []) () =
+  let every = max 1 config.every in
+  let last : state option ref = ref None in
+  let last_saved = ref min_int in
+  let state_of ~cycle ~residual ~v ~stats =
+    { cycle;
+      residual;
+      dims;
+      n;
+      variant;
+      plan_digest;
+      seed;
+      history = history_prefix @ stats;
+      v }
+  in
+  let save_state st =
+    let path = save config st in
+    last_saved := st.cycle;
+    path
+  in
+  { on_accept =
+      (fun ~cycle ~residual ~v ~stats ->
+        if cycle mod every = 0 then begin
+          let st = state_of ~cycle ~residual ~v ~stats in
+          last := Some st;
+          ignore (save_state st)
+        end
+        else
+          (* off-cadence: the solve loop ping-pongs [v], so a deferred
+             flush must snapshot its own copy, not the live buffer *)
+          last := Some (state_of ~cycle ~residual ~v:(Grid.copy v) ~stats));
+    flush =
+      (fun () ->
+        match !last with
+        | Some st when st.cycle > !last_saved ->
+          (* the signal handler runs at a safe point in the solving
+             thread, so [st.v] is a settled accepted iterate *)
+          Some (save_state st)
+        | Some _ | None -> None);
+    restore =
+      (fun () ->
+        match load_latest ~dir:config.dir with
+        | Ok { state; _ } -> Some (state.cycle, state.residual, state.v)
+        | Error _ -> None) }

@@ -80,16 +80,25 @@ let c_fb_cycles = Telemetry.counter "guard.fallback_cycles"
 let c_early = Telemetry.counter "guard.early_stops"
 let c_stag_stop = Telemetry.counter "guard.stagnation_stops"
 let c_retries = Telemetry.counter "govern.primary_retries"
+let c_disk_restore = Telemetry.counter "guard.checkpoint_disk_restores"
+
+type checkpoint_sink = {
+  ck_accept :
+    cycle:int -> residual:float -> v:Grid.t ->
+    stats:Solver.cycle_stats list -> unit;
+  ck_restore : unit -> (int * float * Grid.t) option;
+}
 
 let count_fault = function
   | Fault_nan -> Telemetry.add c_nan 1
   | Fault_diverged -> Telemetry.add c_div 1
   | Fault_crash _ -> Telemetry.add c_crash 1
 
-let run ?(policy = default_policy) ~primary ?fallback
-    ~(problem : Problem.t) () =
+let run ?(policy = default_policy) ?checkpoint ?(start_cycle = 1) ~primary
+    ?fallback ~(problem : Problem.t) () =
   if policy.max_cycles < 1 then
     invalid_arg "Guard.run: max_cycles must be >= 1";
+  if start_cycle < 1 then invalid_arg "Guard.run: start_cycle must be >= 1";
   if policy.primary_retries < 0 then
     invalid_arg "Guard.run: primary_retries must be >= 0";
   if policy.retry_backoff < 0.0 then
@@ -124,7 +133,7 @@ let run ?(policy = default_policy) ~primary ?fallback
   let retries_this_cycle = ref 0 in
   let fallback_cycles = ref 0 in
   let stagnant = ref 0 in
-  let cycle = ref 1 in
+  let cycle = ref start_cycle in
   let outcome = ref None in
   let converged r = match policy.tol with Some t -> r <= t | None -> false in
   if converged r0 then begin
@@ -190,6 +199,14 @@ let run ?(policy = default_policy) ~primary ?fallback
             next := tmp;
             Grid.blit ~src:!cur ~dst:good;
             good_res := r;
+            (match checkpoint with
+             | Some ck ->
+               (* durable checkpoint of the accepted iterate: [good] is
+                  only touched on accepts, so the sink may keep the
+                  reference and persist it from a signal handler too *)
+               ck.ck_accept ~cycle:!cycle ~residual:r ~v:good
+                 ~stats:(List.rev !stats)
+             | None -> ());
             if Flightrec.on () then begin
               Flightrec.emit
                 (Flightrec.Cycle_end
@@ -236,7 +253,24 @@ let run ?(policy = default_policy) ~primary ?fallback
                  | Fault_crash msg -> "crash: " ^ msg
                  | f -> fault_name f) })
       end;
-      (* rollback to the checkpoint *)
+      (* rollback to the checkpoint — normally the in-memory copy, but
+         if that copy is itself unusable (non-finite values, e.g. memory
+         corruption in a long-running process) restore the newest
+         durable generation from disk instead *)
+      (match checkpoint with
+       | Some ck when Buf.find_nonfinite good.Grid.buf <> None -> (
+         match ck.ck_restore () with
+         | Some (ck_cycle, ck_res, g)
+           when Grid.extents g = Grid.extents good ->
+           Grid.blit ~src:g ~dst:good;
+           good_res := ck_res;
+           Telemetry.add c_disk_restore 1;
+           if Flightrec.on () then
+             Flightrec.emit
+               (Flightrec.Checkpoint_restore
+                  { gen = ck_cycle; cycle = !cycle })
+         | Some _ | None -> ())
+       | Some _ | None -> ());
       Grid.blit ~src:good ~dst:!cur;
       Telemetry.add c_rollbacks 1;
       if Flightrec.on () then

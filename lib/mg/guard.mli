@@ -88,12 +88,30 @@ type result = {
   total_seconds : float;  (** stepper time, all attempts, checks excluded *)
 }
 
+type checkpoint_sink = {
+  ck_accept :
+    cycle:int -> residual:float -> v:Repro_grid.Grid.t ->
+    stats:Solver.cycle_stats list -> unit;
+      (** called after every accepted cycle with the last-good iterate
+          (stable identity: only overwritten on the next accept) —
+          {!Checkpoint.sink} persists it on its cadence *)
+  ck_restore : unit -> (int * float * Repro_grid.Grid.t) option;
+      (** newest durable [(cycle, residual, iterate)]; consulted on
+          rollback when the in-memory checkpoint holds non-finite
+          values, so recovery can restore from disk, not just memory
+          (counted in [guard.checkpoint_disk_restores]) *)
+}
+
 val run :
-  ?policy:policy -> primary:Solver.stepper ->
-  ?fallback:(unit -> Solver.stepper) -> problem:Problem.t -> unit -> result
+  ?policy:policy -> ?checkpoint:checkpoint_sink -> ?start_cycle:int ->
+  primary:Solver.stepper -> ?fallback:(unit -> Solver.stepper) ->
+  problem:Problem.t -> unit -> result
 (** Runs guarded cycles of [primary] on [problem].  [fallback] is built
     lazily, on the first fault.  Cycle numbers in [stats]/[events] only
-    advance on accepted cycles, so a retried cycle keeps its number. *)
+    advance on accepted cycles, so a retried cycle keeps its number.
+    [start_cycle] (default 1) resumes numbering mid-run after a durable
+    restore: [problem.v] should then hold the restored iterate, and
+    [policy.max_cycles] keeps meaning the {e absolute} cycle budget. *)
 
 val fallback_opts : Repro_core.Options.t -> Repro_core.Options.t
 (** {!Repro_core.Options.naive} with [check_plan] inherited — the option

@@ -206,9 +206,6 @@ let build ~health ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds
       ("metrics", Metrics.to_json ()) ]
 
 let write ~path doc =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Json.to_channel oc doc;
-      output_char oc '\n')
+  (* atomic replacement (temp + fsync + rename): a crash mid-dump can
+     not leave a torn metrics document for compare.exe to trip on *)
+  Repro_runtime.Snapshot.atomic_write_string ~path (Json.to_string doc ^ "\n")

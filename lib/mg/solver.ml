@@ -37,15 +37,18 @@ let classify ?(divergence_factor = 1e4) ?(stagnation_eps = 1e-2) ~best ~prev
   then Stagnated
   else Ok
 
-let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
+let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true)
+    ?(start_cycle = 1) ?on_accept () =
   if cycles < 1 then invalid_arg "Solver.iterate: cycles must be >= 1";
+  if start_cycle < 1 then
+    invalid_arg "Solver.iterate: start_cycle must be >= 1";
   let cur = ref (Grid.copy problem.Problem.v) in
   let next = ref (Grid.create (Grid.extents problem.Problem.v)) in
   let stats = ref [] in
   let total = ref 0.0 in
   let best = ref Float.infinity in
   let prev = ref Float.infinity in
-  for c = 1 to cycles do
+  for c = start_cycle to start_cycle + cycles - 1 do
     if Flightrec.on () then
       Flightrec.emit (Flightrec.Cycle_begin { cycle = c; fallback = false });
     let t0 = Unix.gettimeofday () in
@@ -78,7 +81,11 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true) () =
       Flightrec.emit
         (Flightrec.Cycle_end
            { cycle = c; residual; status = status_name status });
-    stats := { cycle = c; residual; seconds = dt; status } :: !stats
+    stats := { cycle = c; residual; seconds = dt; status } :: !stats;
+    (match on_accept with
+     | Some hook ->
+       hook ~cycle:c ~residual ~v:!cur ~stats:(List.rev !stats)
+     | None -> ())
   done;
   { stats = List.rev !stats; v = !cur; total_seconds = !total }
 
@@ -123,7 +130,7 @@ let c_rt_demote = Telemetry.counter "govern.runtime_demotions"
    what the pooled share may spend.  Unpooled rungs never consult the
    pool, so no budget is installed for them. *)
 let attempt_rung ~domains ?poison ~budget ~problem ~cycles ~residuals
-    (rung : Govern.rung) =
+    ~start_cycle ?on_accept (rung : Govern.rung) =
   try
     Repro_core.Exec.with_runtime ~domains ?poison (fun rt ->
         (match budget with
@@ -133,11 +140,11 @@ let attempt_rung ~domains ?poison ~budget ~problem ~cycles ~residuals
          | Some _ | None -> ());
         Stdlib.Ok
           (iterate (plan_stepper rung.Govern.plan ~rt) ~problem ~cycles
-             ~residuals ()))
+             ~residuals ~start_cycle ?on_accept ()))
   with Mempool.Budget_exceeded _ as e -> Stdlib.Error (Printexc.to_string e)
 
 let solve_governed cfg ~n ~(opts : Options.t) ?(domains = 1) ?poison ~cycles
-    ?(residuals = true) ?problem () =
+    ?(residuals = true) ?(start_cycle = 1) ?on_accept ?problem () =
   let pipeline = Cycle.build cfg in
   let params = Cycle.params cfg ~n in
   match Govern.decide ~domains pipeline ~opts ~n ~params with
@@ -204,7 +211,7 @@ let solve_governed cfg ~n ~(opts : Options.t) ?(domains = 1) ?poison ~cycles
       else
         match
           attempt_rung ~domains ?poison ~budget ~problem ~cycles ~residuals
-            ladder.(i)
+            ~start_cycle ?on_accept ladder.(i)
         with
         | Stdlib.Ok r ->
           Stdlib.Ok

@@ -38,14 +38,24 @@ val classify :
     1e-2, i.e. less than 1% per cycle) are {!Stagnated}. *)
 
 val iterate :
-  stepper -> problem:Problem.t -> cycles:int -> ?residuals:bool -> unit ->
-  result
+  stepper -> problem:Problem.t -> cycles:int -> ?residuals:bool ->
+  ?start_cycle:int ->
+  ?on_accept:
+    (cycle:int -> residual:float -> v:Repro_grid.Grid.t ->
+     stats:cycle_stats list -> unit) ->
+  unit -> result
 (** Runs [cycles] iterations, ping-ponging two iterate grids.
     [residuals] (default true) computes the residual after each cycle with
     {!Verify.residual_l2} (excluded from timings) and classifies it with
     {!classify} at default thresholds; with [residuals:false] every status
-    is {!Ok}.  For fault detection with rollback and fallback, use
-    {!Guard.run} instead. *)
+    is {!Ok}.  [start_cycle] (default 1) offsets cycle numbering so a
+    resumed solve continues where the checkpointed one stopped; [cycles]
+    stays the number of cycles {e this} call runs.  [on_accept] is
+    called after every completed cycle with the fresh iterate and the
+    stats so far — {!Checkpoint.sink} plugs in here to persist durable
+    generations on its cadence (the grid is read, never retained).  For
+    fault detection with rollback and fallback, use {!Guard.run}
+    instead. *)
 
 val polymg_plan :
   Cycle.config -> n:int -> opts:Repro_core.Options.t -> Repro_core.Plan.t
@@ -88,7 +98,11 @@ type governed = {
 
 val solve_governed :
   Cycle.config -> n:int -> opts:Repro_core.Options.t -> ?domains:int ->
-  ?poison:bool -> cycles:int -> ?residuals:bool -> ?problem:Problem.t ->
+  ?poison:bool -> cycles:int -> ?residuals:bool -> ?start_cycle:int ->
+  ?on_accept:
+    (cycle:int -> residual:float -> v:Repro_grid.Grid.t ->
+     stats:cycle_stats list -> unit) ->
+  ?problem:Problem.t ->
   unit -> (governed, Repro_core.Govern.infeasible) Stdlib.result
 (** The budgeted solve: {!Repro_core.Govern.decide} picks the most
     aggressive ladder rung whose modelled footprint fits

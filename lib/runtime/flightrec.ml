@@ -67,6 +67,10 @@ type kind =
       floor_bytes : int;
       floor_rung : string;
     }
+  | Checkpoint_write of { gen : int; cycle : int }
+  | Checkpoint_restore of { gen : int; cycle : int }
+  | Checkpoint_reject of { gen : int; reason : string }
+  | Resume_replan of { old_digest : string; new_digest : string }
   | Note of string
 
 type event = { t_ns : int; dom : int; seq : int; kind : kind }
@@ -208,6 +212,19 @@ let event_fields = function
       [ ("budget_bytes", Json.num budget_bytes);
         ("floor_bytes", Json.num floor_bytes);
         ("floor_rung", Json.Str floor_rung) ] )
+  | Checkpoint_write { gen; cycle } ->
+    ( "checkpoint_write",
+      [ ("gen", Json.num gen); ("cycle", Json.num cycle) ] )
+  | Checkpoint_restore { gen; cycle } ->
+    ( "checkpoint_restore",
+      [ ("gen", Json.num gen); ("cycle", Json.num cycle) ] )
+  | Checkpoint_reject { gen; reason } ->
+    ( "checkpoint_reject",
+      [ ("gen", Json.num gen); ("reason", Json.Str reason) ] )
+  | Resume_replan { old_digest; new_digest } ->
+    ( "resume_replan",
+      [ ("old_digest", Json.Str old_digest);
+        ("new_digest", Json.Str new_digest) ] )
   | Note s -> ("note", [ ("text", Json.Str s) ])
 
 let event_to_json e =
@@ -312,10 +329,9 @@ let incident ~kind ?cycle ?(detail = []) () =
                   (Printf.sprintf "incident-%03d-%s.json" (n + 1)
                      (sanitize_kind kind))
               in
-              let oc = open_out path in
-              Json.to_channel oc doc;
-              output_char oc '\n';
-              close_out oc;
+              (* atomic replacement: a crash mid-dump must never leave a
+                 torn JSON file for incident_check/compare to trip on *)
+              Snapshot.atomic_write_string ~path (Json.to_string doc ^ "\n");
               path)
         in
         Telemetry.add c_incidents 1;

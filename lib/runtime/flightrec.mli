@@ -77,6 +77,14 @@ type kind =
       floor_bytes : int;
       floor_rung : string;
     }
+  | Checkpoint_write of { gen : int; cycle : int }
+      (** a durable checkpoint generation was written *)
+  | Checkpoint_restore of { gen : int; cycle : int }
+      (** solver state restored from a durable generation *)
+  | Checkpoint_reject of { gen : int; reason : string }
+      (** a torn/corrupt generation was detected and skipped *)
+  | Resume_replan of { old_digest : string; new_digest : string }
+      (** resume found a checkpoint from a different plan and re-planned *)
   | Note of string
 
 type event = {
