@@ -5,8 +5,9 @@
      audit_counters.exe LIBDIR DOC [DOC ...]
 
    Scans every .ml under LIBDIR for [Telemetry.counter "NAME"]
-   registrations, keeps the audited families (the guard, govern and
-   flightrec prefixes), and requires each name to appear verbatim in at
+   registrations, keeps the audited families (the guard, govern,
+   flightrec, snapshot, profile and ledger prefixes), and requires each
+   name to appear verbatim in at
    least one DOC (the README/TESTING counter tables).  Exits 1 listing any
    undocumented counter — and any documented counter of those families
    that no longer exists in the code, so stale rows fail too. *)
@@ -14,7 +15,7 @@
 let audited name =
   List.exists
     (fun p -> String.starts_with ~prefix:p name)
-    [ "guard."; "govern."; "flightrec."; "snapshot." ]
+    [ "guard."; "govern."; "flightrec."; "snapshot."; "profile."; "ledger." ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -77,7 +78,7 @@ let () =
     let stale =
       let re =
         Str.regexp
-          "`\\(\\(guard\\|govern\\|flightrec\\|snapshot\\)\\.[a-z_.]+\\)`"
+          "`\\(\\(guard\\|govern\\|flightrec\\|snapshot\\|profile\\|ledger\\)\\.[a-z_.]+\\)`"
       in
       let rec collect i acc =
         match Str.search_forward re doc_text i with

@@ -5,6 +5,7 @@
 
    Usage:
      compare.exe OLD.json NEW.json [--threshold 0.25] [--relative VARIANT]
+                 [--json VERDICT.json]
 
    Keys:
      bench files    "<bench> n=<n> dims=<d> domains=<p> <variant>"
@@ -26,6 +27,10 @@
    lacks, or vice versa — are tolerated: they get a stderr warning and a
    MISSING/NEW row, never a failure, so schema growth can't break the
    regression gate against an old baseline.
+
+   --json PATH additionally writes the verdicts as a machine-readable
+   polymg.compare/1 document (atomic write), so CI jobs and trend
+   tooling can consume comparisons without scraping the markdown.
 
    Exit status: 0 when no key regressed, 1 when at least one key
    regressed, 2 on usage errors and unusable inputs — a missing or
@@ -137,9 +142,13 @@ let rows_of path ~relative =
     fail "compare: %s: no comparable measurements (truncated run?)" path;
   rows
 
+let fnum f = if Float.is_finite f then Json.Num f else Json.Null
+let fopt = function Some f -> fnum f | None -> Json.Null
+
 let () =
   let threshold = ref 0.25 in
   let relative = ref None in
+  let json_out = ref None in
   let files = ref [] in
   let rec go = function
     | [] -> ()
@@ -150,6 +159,9 @@ let () =
       go rest
     | "--relative" :: v :: rest ->
       relative := Some v;
+      go rest
+    | "--json" :: v :: rest ->
+      json_out := Some v;
       go rest
     | f :: rest when String.length f = 0 || f.[0] <> '-' ->
       files := f :: !files;
@@ -163,11 +175,16 @@ let () =
     | _ ->
       fail
         "usage: compare.exe OLD.json NEW.json [--threshold 0.25] [--relative \
-         VARIANT]"
+         VARIANT] [--json VERDICT.json]"
   in
   let old_rows = rows_of old_path ~relative:!relative in
   let new_rows = rows_of new_path ~relative:!relative in
   let regressions = ref 0 and improvements = ref 0 and missing = ref 0 in
+  (* (key, old, new, ratio, verdict) in output order, for the JSON sink *)
+  let out_rows = ref [] in
+  let emit key t_old t_new ratio verdict =
+    out_rows := (key, t_old, t_new, ratio, verdict) :: !out_rows
+  in
   Printf.printf "| key | old | new | ratio | verdict |\n";
   Printf.printf "|---|---|---|---|---|\n";
   List.iter
@@ -177,7 +194,8 @@ let () =
         incr missing;
         Printf.eprintf
           "compare: warning: key %S only in old file (tolerated)\n" key;
-        Printf.printf "| %s | %.4g | — | — | MISSING |\n" key t_old
+        Printf.printf "| %s | %.4g | — | — | MISSING |\n" key t_old;
+        emit key (Some t_old) None None "MISSING"
       | Some t_new ->
         let ratio = if t_old > 0.0 then t_new /. t_old else nan in
         let verdict =
@@ -193,15 +211,17 @@ let () =
           else "ok"
         in
         Printf.printf "| %s | %.4g | %.4g | %.3f | %s |\n" key t_old t_new
-          ratio verdict)
+          ratio verdict;
+        emit key (Some t_old) (Some t_new) (Some ratio) verdict)
     old_rows;
   List.iter
-    (fun (key, _) ->
+    (fun (key, t_new) ->
       if not (List.mem_assoc key old_rows) then begin
         incr missing;
         Printf.eprintf
           "compare: warning: key %S only in new file (tolerated)\n" key;
-        Printf.printf "| %s | — | … | — | NEW |\n" key
+        Printf.printf "| %s | — | … | — | NEW |\n" key;
+        emit key None (Some t_new) None "NEW"
       end)
     new_rows;
   Printf.printf
@@ -212,4 +232,34 @@ let () =
     (match !relative with
      | Some v -> Printf.sprintf ", relative to %s" v
      | None -> "");
+  (match !json_out with
+   | None -> ()
+   | Some path ->
+     let doc =
+       Json.Obj
+         [ ("schema", Json.Str "polymg.compare/1");
+           ("old", Json.Str old_path);
+           ("new", Json.Str new_path);
+           ("threshold", Json.Num !threshold);
+           ( "relative",
+             match !relative with Some v -> Json.Str v | None -> Json.Null );
+           ("regressions", Json.num !regressions);
+           ("improvements", Json.num !improvements);
+           ("missing", Json.num !missing);
+           ( "verdict",
+             Json.Str (if !regressions > 0 then "REGRESSION" else "ok") );
+           ( "rows",
+             Json.Arr
+               (List.rev_map
+                  (fun (key, t_old, t_new, ratio, verdict) ->
+                    Json.Obj
+                      [ ("key", Json.Str key);
+                        ("old", fopt t_old);
+                        ("new", fopt t_new);
+                        ("ratio", fopt ratio);
+                        ("verdict", Json.Str verdict) ])
+                  !out_rows) ) ]
+     in
+     Repro_runtime.Snapshot.atomic_write_string ~path
+       (Json.to_string doc ^ "\n"));
   exit (if !regressions > 0 then 1 else 0)

@@ -219,6 +219,55 @@ let assert_flightrec_noop () =
   if minor_words > 256.0 then
     failwith "flightrec disabled path allocates"
 
+(* Same discipline for the profiler: a disabled [Profile.start]/[stop]
+   pair must cost one atomic load and a predictable branch per site —
+   no clock read, no accumulator touch, no allocation. *)
+let assert_profile_noop () =
+  let module Profile = Repro_runtime.Profile in
+  Profile.set_enabled false;
+  let site = Profile.site "bench.noop" in
+  let iters = 5_000_000 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Telemetry.now_ns () in
+  for _ = 1 to iters do
+    let t = Profile.start () in
+    Profile.stop t site
+  done;
+  let per_call =
+    float_of_int (Telemetry.now_ns () - t0) /. float_of_int iters
+  in
+  let minor_words = Gc.minor_words () -. minor0 in
+  Printf.printf
+    "profile disabled-path: %.1f ns per start/stop site (budget 100 ns), \
+     %.0f minor words for %d sites (budget 256)\n"
+    per_call minor_words iters;
+  if per_call > 100.0 then
+    failwith "profile disabled path exceeds the no-op budget";
+  if minor_words > 256.0 then failwith "profile disabled path allocates"
+
+(* Per-site profile stats from one instrumented cycle, reset-bracketed
+   like counter_snapshot so nothing bleeds between variants. *)
+let profile_snapshot stepper problem =
+  let module Profile = Repro_runtime.Profile in
+  Profile.reset ();
+  Profile.set_enabled true;
+  ignore (Solver.iterate stepper ~problem ~cycles:1 ~residuals:false ());
+  Profile.set_enabled false;
+  let sites = Profile.sites () in
+  Profile.reset ();
+  sites
+
+(* Append one ledger record for a measured run (durable JSONL — the
+   longitudinal trajectory bench/trend.exe reads). *)
+let ledger_append ~path ~cfg ~n ~domains ~vname ~seconds ~plan_digest ~sites =
+  let module Ledger = Repro_runtime.Ledger in
+  let r =
+    Ledger.make ~sites ~bench:(Cycle.bench_name cfg) ~n ~domains
+      ~variant:vname ~plan_digest ~s_per_cycle:seconds ()
+  in
+  Ledger.append ~path r;
+  Printf.printf "ledger: appended %s -> %s\n" (Ledger.key r) path
+
 (* Time every variant of one benchmark at one size; returns
    (variant, seconds-per-cycle) in order.  Variants are measured
    round-robin — one timed run each per round — so that machine noise

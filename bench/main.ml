@@ -15,8 +15,8 @@ open Repro_core
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|table3|fig9|fig10|fig11a|fig11b|fig12|nas|scaling|ablation|quick|bechamel|telemetry|flightrec] \
-     [--class B|C] [--cycles N] [--reps N]";
+     [all|table3|fig9|fig10|fig11a|fig11b|fig12|nas|scaling|ablation|quick|bechamel|telemetry|flightrec|profile] \
+     [--class B|C] [--cycles N] [--reps N] [--ledger PATH]";
   exit 1
 
 type args = {
@@ -25,6 +25,7 @@ type args = {
   nas_cls : Repro_nas.Nas_coeffs.cls;
   cycles : int;
   reps : int;
+  ledger : string option;
 }
 
 let parse_args () =
@@ -33,6 +34,7 @@ let parse_args () =
   let nas_cls = ref Repro_nas.Nas_coeffs.B in
   let cycles = ref 2 in
   let reps = ref 2 in
+  let ledger = ref None in
   let rec go = function
     | [] -> ()
     | "--class" :: v :: rest ->
@@ -53,13 +55,21 @@ let parse_args () =
        | Some c when c > 0 -> reps := c
        | Some _ | None -> usage ());
       go rest
+    | "--ledger" :: v :: rest ->
+      ledger := Some v;
+      go rest
     | c :: rest when not (String.length c > 1 && c.[0] = '-') ->
       cmd := c;
       go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  { cmd = !cmd; cls = !cls; nas_cls = !nas_cls; cycles = !cycles; reps = !reps }
+  { cmd = !cmd;
+    cls = !cls;
+    nas_cls = !nas_cls;
+    cycles = !cycles;
+    reps = !reps;
+    ledger = !ledger }
 
 (* ---- Bechamel micro-suite: one Test.make per table/figure kernel ---- *)
 
@@ -204,6 +214,68 @@ let main () =
     in
     write "flightrec_off.json" t_off;
     write "flightrec_on.json" t_on
+  | "profile" ->
+    (* profiler-cost gate, same shape as the flightrec leg: the
+       disabled start/stop path must be a no-op (and allocation-free),
+       and a profiler-on solve of the reference config must stay within
+       noise of profiler-off.  Writes one-record polymg.bench/1 files
+       for the CI `compare.exe profile_off.json profile_on.json
+       --threshold 0.02` gate, prints the per-site profile table from
+       the instrumented run, and with --ledger appends the profiled
+       record to the longitudinal ledger for trend.exe. *)
+    Harness.assert_profile_noop ();
+    let module Profile = Repro_runtime.Profile in
+    let cfg = Cycle.default ~dims:2 ~shape:Cycle.V ~smoothing:(4, 4, 4) in
+    let n = 128 in
+    let problem = Problem.poisson_random ~dims:2 ~n ~seed:7 in
+    let rt = Exec.runtime () in
+    let plan = Solver.polymg_plan cfg ~n ~opts:Options.opt_plus in
+    let stepper = Solver.plan_stepper plan ~rt in
+    let reps = max a.reps 3 in
+    Profile.set_enabled false;
+    Profile.reset ();
+    (* throwaway pass: page in pool buffers so the off-timing is not
+       charged the cold start the on-timing then skips *)
+    ignore (Harness.time_stepper ~reps:1 ~cycles:a.cycles stepper problem);
+    let t_off = Harness.time_stepper ~reps ~cycles:a.cycles stepper problem in
+    Profile.set_enabled true;
+    let t_on = Harness.time_stepper ~reps ~cycles:a.cycles stepper problem in
+    Profile.set_enabled false;
+    Printf.printf
+      "V-2D-4-4-4 N=%d opt+: %.4f s/cycle profiler off, %.4f s/cycle on \
+       (overhead %+.1f%%)\n"
+      n t_off t_on
+      (100.0 *. ((t_on /. t_off) -. 1.0));
+    Profile.report Format.std_formatter;
+    Format.pp_print_newline Format.std_formatter ();
+    let sites = Profile.sites () in
+    Profile.reset ();
+    Exec.free_runtime rt;
+    let write path seconds =
+      let doc =
+        Repro_runtime.Json.Obj
+          [ ("schema", Repro_runtime.Json.Str "polymg.bench/1");
+            ( "records",
+              Repro_runtime.Json.Arr
+                [ Harness.record_json ~bench:(Cycle.bench_name cfg) ~n
+                    ~dims:2 ~domains:1 ~vname:"opt+" ~seconds ~counters:[]
+                ] ) ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Repro_runtime.Json.to_channel oc doc;
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+    in
+    write "profile_off.json" t_off;
+    write "profile_on.json" t_on;
+    (match a.ledger with
+     | Some path ->
+       Harness.ledger_append ~path ~cfg ~n ~domains:1 ~vname:"opt+"
+         ~seconds:t_on ~plan_digest:(Plan.digest plan) ~sites
+     | None -> ())
   | "all" ->
     header ();
     Tables.table3 ~cycles:a.cycles ~reps:1 ();

@@ -216,6 +216,17 @@ let modes : (string * string * (ctx -> unit)) list =
         let verdict = Conformance.c_equivalence plan in
         Format.printf "%a@." Conformance.pp_c_verdict (name, verdict);
         if not (Conformance.c_verdict_pass verdict) then exit 1 );
+    ( "calibrate",
+      "cost-model calibration: join the analytical per-stage roofline \
+       predictions with profiler-measured times across shapes x \
+       variants, reporting per-stage model error and the Spearman rank \
+       correlation of predicted-vs-measured plan ordering",
+      fun ctx ->
+        let shapes = if ctx.n >= 64 then [ ctx.n / 2; ctx.n ] else [ ctx.n ] in
+        let cal =
+          Calibrate.run ctx.cfg ~n:ctx.n ~shapes ~domains:ctx.domains
+        in
+        Format.printf "%a@." Calibrate.pp cal );
     ( "health",
       "the convergence observatory on the selected cycle: per-cycle and \
        asymptotic convergence factors, per-level smoothing rates and \

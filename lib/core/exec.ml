@@ -7,6 +7,7 @@ module Mempool = Repro_runtime.Mempool
 module Telemetry = Repro_runtime.Telemetry
 module Watchdog = Repro_runtime.Watchdog
 module Flightrec = Repro_runtime.Flightrec
+module Profile = Repro_runtime.Profile
 
 let c_tiles = Telemetry.counter "exec.tiles"
 let c_points = Telemetry.counter "exec.points_computed"
@@ -122,6 +123,10 @@ type ctx = {
   input_grids : Grid.t array;  (* by input index *)
   (* strides/extents of each func's full array layout, by func id *)
   func_sizes : int array array;
+  (* profiler sites by func id; [||] when the profiler was disabled at
+     run start (the snapshot also guards against a mid-run enable, which
+     would otherwise index an empty table) *)
+  psites : Profile.site array;
 }
 
 let check_grid_matches (f : Func.t) ~n (g : Grid.t) =
@@ -169,6 +174,7 @@ let run_tile ctx (tg : Plan.tiled_group) scratch tile =
     assert (id = m.Plan.func.Func.id);
     if not (Box.is_empty region) then begin
       let t_stage = Telemetry.begin_span () in
+      let p_stage = Profile.start () in
       let interior = Box.of_sizes m.Plan.sizes in
       let srcs =
         Array.init
@@ -199,7 +205,9 @@ let run_tile ctx (tg : Plan.tiled_group) scratch tile =
           (m.Plan.func.Func.name ^ ": member with neither scratch nor array"));
       if t_stage <> 0 then
         Telemetry.end_span t_stage ~cat:"stage"
-          ("stage:" ^ m.Plan.func.Func.name)
+          ("stage:" ^ m.Plan.func.Func.name);
+      if p_stage <> 0 && Array.length ctx.psites > 0 then
+        Profile.stop p_stage ctx.psites.(m.Plan.func.Func.id)
     end
   done
 
@@ -216,6 +224,14 @@ let run_tiled ctx (tg : Plan.tiled_group) =
 (* Diamond group execution                                              *)
 
 let run_diamond ctx (dg : Plan.diamond_group) =
+  (* one site per diamond group: fronts interleave every step, so
+     per-stage attribution happens downstream (flops share, same rule
+     Perf_report uses for the telemetry spans) *)
+  let p_front_site =
+    if Array.length ctx.psites > 0 then
+      Some (Profile.site (Printf.sprintf "diamond.front.g%d" dg.Plan.gid))
+    else None
+  in
   let nsteps = Array.length dg.Plan.steps in
   let last = dg.Plan.steps.(nsteps - 1) in
   let out_arr =
@@ -283,6 +299,7 @@ let run_diamond ctx (dg : Plan.diamond_group) =
   Array.iter
     (fun front ->
       let t_front = Telemetry.begin_span () in
+      let p_front = Profile.start () in
       Parallel.parallel_for ctx.rt.par ~lo:0 ~hi:(Array.length front - 1)
         (fun fi ->
           Watchdog.check ();
@@ -314,7 +331,10 @@ let run_diamond ctx (dg : Plan.diamond_group) =
           ~args:
             [ ("tiles", Telemetry.Int (Array.length front));
               ("gid", Telemetry.Int dg.Plan.gid) ]
-          "diamond.front")
+          "diamond.front";
+      match p_front_site with
+      | Some ps -> Profile.stop p_front ps
+      | None -> ())
     fronts;
   inject ~gid:dg.Plan.gid ~stage:last.Plan.func.Func.name out_src;
   if ctx.plan.Plan.opts.Options.pool then Mempool.release ctx.rt.pool tmp
@@ -407,12 +427,38 @@ let run plan rt ~inputs ~outputs =
         bufs.(a) <- Some g.Grid.buf
       | None -> invalid_arg "Exec.run: missing output grid")
     plan.Plan.output_arrays;
-  let ctx = { plan; rt; bufs; input_grids; func_sizes } in
+  (* snapshot profiler enablement once: sites are interned up front (the
+     enabled path may allocate), and a mid-run toggle can never index a
+     table built for the other state *)
+  let pon = Profile.enabled () in
+  let psites =
+    if pon then
+      Array.init nfuncs (fun id ->
+          Profile.site
+            ("stage:" ^ (Pipeline.func plan.Plan.pipeline id).Func.name))
+    else [||]
+  in
+  let pgroups =
+    if pon then
+      Array.mapi
+        (fun gi group ->
+          Profile.site
+            (Printf.sprintf "group%d:%s" gi
+               (match group with
+               | Plan.G_tiled _ -> "tiled"
+               | Plan.G_diamond _ -> "diamond")))
+        plan.Plan.groups
+    else [||]
+  in
+  let p_run_site = if pon then Some (Profile.site "exec.run") else None in
+  let ctx = { plan; rt; bufs; input_grids; func_sizes; psites } in
   let opts = plan.Plan.opts in
   let t_run = Telemetry.begin_span () in
+  let p_run = Profile.start () in
   Array.iteri
     (fun gi group ->
       let t_group = Telemetry.begin_span () in
+      let p_group = Profile.start () in
       (* acquire arrays whose first use is this group *)
       Array.iteri
         (fun a (info : Plan.array_info) ->
@@ -490,12 +536,16 @@ let run plan rt ~inputs ~outputs =
              :: ("redundant_points", Telemetry.Int (computed - domain))
              :: shape_args)
           name
-      end)
+      end;
+      if p_group <> 0 && pon then Profile.stop p_group pgroups.(gi))
     plan.Plan.groups;
   if t_run <> 0 then
     Telemetry.end_span t_run ~cat:"exec"
       ~args:[ ("groups", Telemetry.Int (Array.length plan.Plan.groups)) ]
-      "exec.run"
+      "exec.run";
+  match p_run_site with
+  | Some ps -> Profile.stop p_run ps
+  | None -> ()
 
 let points_computed plan =
   Array.fold_left

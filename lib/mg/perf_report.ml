@@ -31,28 +31,36 @@ let aggregate spans =
 
 let fnum f = if Float.is_finite f then Json.Num f else Json.Null
 
-let stage_json ~execs ~by_name ~front_by_gid ~group_flops ~kinds
-    ~(roofline : Roofline.t) (s : Cost.stage) =
-  let ai = Cost.stage_intensity s in
+(* total measured ns for a stage over every execution in the span set:
+   direct stage spans for tiled groups, flops-share attribution of the
+   per-gid diamond front time for diamond groups *)
+let measured_stage_ns ~by_name ~front_by_gid ~group_flops ~kinds
+    (s : Cost.stage) =
   let diamond =
     match Hashtbl.find_opt kinds s.Cost.gid with
     | Some `Diamond -> true
     | _ -> false
   in
+  if diamond then begin
+    let front =
+      Option.value (Hashtbl.find_opt front_by_gid s.Cost.gid) ~default:0
+    in
+    let total =
+      Option.value (Hashtbl.find_opt group_flops s.Cost.gid) ~default:0.0
+    in
+    let share = if total > 0.0 then s.Cost.flops /. total else 0.0 in
+    (float_of_int front *. share, true)
+  end
+  else
+    match Hashtbl.find_opt by_name ("stage:" ^ s.Cost.name) with
+    | Some (t, _) -> (float_of_int t, false)
+    | None -> (0.0, false)
+
+let stage_json ~execs ~by_name ~front_by_gid ~group_flops ~kinds
+    ~(roofline : Roofline.t) (s : Cost.stage) =
+  let ai = Cost.stage_intensity s in
   let measured_ns, attributed =
-    if diamond then begin
-      let front =
-        Option.value (Hashtbl.find_opt front_by_gid s.Cost.gid) ~default:0
-      in
-      let total = Option.value (Hashtbl.find_opt group_flops s.Cost.gid)
-                    ~default:0.0 in
-      let share = if total > 0.0 then s.Cost.flops /. total else 0.0 in
-      (float_of_int front *. share, true)
-    end
-    else
-      match Hashtbl.find_opt by_name ("stage:" ^ s.Cost.name) with
-      | Some (t, _) -> (float_of_int t, false)
-      | None -> (0.0, false)
+    measured_stage_ns ~by_name ~front_by_gid ~group_flops ~kinds s
   in
   let per_exec = float_of_int execs in
   let achieved_gbs =
@@ -116,9 +124,9 @@ let build ~health ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds
           ( "scratch_bytes_per_thread",
             Json.num (Plan.scratch_bytes_per_thread p) ) ]
   in
-  let cost_json, stages_json, groups_json =
+  let cost_json, stages_json, groups_json, calibration_json =
     match cost with
-    | None -> (Json.Null, Json.Arr [], Json.Arr [])
+    | None -> (Json.Null, Json.Arr [], Json.Arr [], Json.Null)
     | Some c ->
       let kinds = Hashtbl.create 8 in
       let group_flops = Hashtbl.create 8 in
@@ -163,7 +171,15 @@ let build ~health ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds
                         Json.Arr
                           (List.map (fun s -> Json.Str s) g.Cost.stage_names)
                       ) ])
-                c.Cost.groups)) )
+                c.Cost.groups)),
+        Calibrate.calibration_block ~roofline ~cost:c
+          ~measured_ns:(fun s ->
+            let t, attributed =
+              measured_stage_ns ~by_name ~front_by_gid ~group_flops ~kinds s
+            in
+            ( (if execs > 0 then t /. float_of_int execs else 0.0),
+              attributed ))
+          () )
   in
   let cycles_json =
     Json.Arr
@@ -195,6 +211,7 @@ let build ~health ~cfg ~n ~variant ~domains ~cost ~plan ~stats ~total_seconds
       ("cost", cost_json);
       ("stages", stages_json);
       ("groups", groups_json);
+      ("calibration", calibration_json);
       ("cycles", cycles_json);
       ("total_seconds", Json.Num total_seconds);
       ( "health",

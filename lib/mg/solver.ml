@@ -2,6 +2,7 @@ module Grid = Repro_grid.Grid
 module Telemetry = Repro_runtime.Telemetry
 module Mempool = Repro_runtime.Mempool
 module Flightrec = Repro_runtime.Flightrec
+module Profile = Repro_runtime.Profile
 module Json = Repro_runtime.Json
 open Repro_core
 
@@ -48,16 +49,23 @@ let iterate stepper ~(problem : Problem.t) ~cycles ?(residuals = true)
   let total = ref 0.0 in
   let best = ref Float.infinity in
   let prev = ref Float.infinity in
+  let p_cycle_site =
+    if Profile.enabled () then Some (Profile.site "solver.cycle") else None
+  in
   for c = start_cycle to start_cycle + cycles - 1 do
     if Flightrec.on () then
       Flightrec.emit (Flightrec.Cycle_begin { cycle = c; fallback = false });
     let t0 = Unix.gettimeofday () in
     let t_cycle = Telemetry.begin_span () in
+    let p_cycle = Profile.start () in
     stepper ~v:!cur ~f:problem.Problem.f ~out:!next;
     if t_cycle <> 0 then
       Telemetry.end_span t_cycle ~cat:"solver"
         ~args:[ ("cycle", Telemetry.Int c) ]
         "solver.cycle";
+    (match p_cycle_site with
+    | Some ps -> Profile.stop p_cycle ps
+    | None -> ());
     let dt = Unix.gettimeofday () -. t0 in
     total := !total +. dt;
     let tmp = !cur in

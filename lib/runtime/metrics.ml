@@ -111,7 +111,7 @@ let hist_sum h = Atomic.get h.hsum
 
 let percentile h q =
   let total = hist_count h in
-  if total = 0 then 0.0
+  if total = 0 then Float.nan
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
     let target = q *. float_of_int total in
@@ -191,9 +191,13 @@ let to_json () =
                 if count = 0 then Json.Null else Json.Num (Atomic.get h.hmin) );
               ( "max",
                 if count = 0 then Json.Null else Json.Num (Atomic.get h.hmax) );
-              ("p50", Json.Num (percentile h 0.5));
-              ("p90", Json.Num (percentile h 0.9));
-              ("p99", Json.Num (percentile h 0.99));
+              ( "p50",
+                if count = 0 then Json.Null else Json.Num (percentile h 0.5) );
+              ( "p90",
+                if count = 0 then Json.Null else Json.Num (percentile h 0.9) );
+              ( "p99",
+                if count = 0 then Json.Null else Json.Num (percentile h 0.99)
+              );
               ( "buckets",
                 Json.Arr
                   (List.map

@@ -37,8 +37,9 @@ val hist_sum : histogram -> float
 
 val percentile : histogram -> float -> float
 (** [percentile h q] for [q] in [[0, 1]]: linear interpolation inside the
-    covering log2 bucket, clamped to the observed min/max.  [0.] when the
-    series is empty. *)
+    covering log2 bucket, clamped to the observed min/max.  [nan] when
+    the series is empty (JSON sinks render empty-series percentiles as
+    [null]). *)
 
 val buckets : histogram -> (float * int) list
 (** Cumulative bucket counts as [(upper_bound, count <= bound)] pairs,

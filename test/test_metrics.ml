@@ -47,6 +47,50 @@ let test_percentiles () =
   Alcotest.(check (float 1e-6)) "p0" 100.0 (Metrics.percentile h 0.0);
   Alcotest.(check (float 1e-6)) "p100" 10000.0 (Metrics.percentile h 1.0)
 
+(* An empty series has no percentiles: every quantile is nan (and the
+   JSON sink renders them as null), never a fabricated 0. *)
+let test_percentiles_empty () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "t_empty" in
+  Alcotest.(check int) "count" 0 (Metrics.hist_count h);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g is nan" (100.0 *. q))
+        true
+        (Float.is_nan (Metrics.percentile h q)))
+    [ 0.0; 0.5; 1.0 ];
+  match Json.member "histograms" (Metrics.to_json ()) with
+  | None -> Alcotest.fail "no histograms block"
+  | Some hs ->
+    let h0 = List.hd (Json.to_list hs) in
+    List.iter
+      (fun k ->
+        Alcotest.(check bool)
+          (k ^ " is null") true
+          (Json.member k h0 = Some Json.Null))
+      [ "p50"; "p90"; "p99" ]
+
+(* One sample: every quantile collapses to it. *)
+let test_percentiles_one_sample () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "t_one" in
+  Metrics.observe h 300.0;
+  Alcotest.(check (float 1e-9)) "p0" 300.0 (Metrics.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 300.0 (Metrics.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 300.0 (Metrics.percentile h 1.0)
+
+(* Two samples in distant log2 buckets: the median stays in the lower
+   bucket, clamped below by the observed min; p100 is the exact max. *)
+let test_percentiles_two_buckets () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "t_two" in
+  Metrics.observe h 100.0;
+  Metrics.observe h 10000.0;
+  Alcotest.(check (float 1e-9)) "p0" 100.0 (Metrics.percentile h 0.0);
+  in_range "p50" 100.0 128.0 (Metrics.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 10000.0 (Metrics.percentile h 1.0)
+
 let is_float s = match float_of_string_opt s with Some _ -> true | None -> false
 
 (* minimal exposition-format checker: every non-comment line must be
@@ -183,7 +227,13 @@ let () =
   Alcotest.run "metrics"
     [ ( "histogram",
         [ Alcotest.test_case "percentiles on known distribution" `Quick
-            test_percentiles ] );
+            test_percentiles;
+          Alcotest.test_case "empty series has nan percentiles" `Quick
+            test_percentiles_empty;
+          Alcotest.test_case "one-sample percentiles collapse" `Quick
+            test_percentiles_one_sample;
+          Alcotest.test_case "two-bucket percentiles clamp" `Quick
+            test_percentiles_two_buckets ] );
       ( "sinks",
         [ Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip ] );
