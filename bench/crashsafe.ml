@@ -553,6 +553,19 @@ let () =
         print_endline "wrote ckpt_off.json ckpt_hook.json")
   end;
 
+  (* ---- teardown: pools must be quiescent across every killed,
+     resumed, and rejected solve above ---- *)
+  (match Repro_runtime.Mempool.assert_quiescent () with
+   | 0 -> ()
+   | n -> check (Printf.sprintf "pools quiescent (%d outstanding)" n) false
+   | exception Repro_runtime.Mempool.Not_quiescent { outstanding; leaked; detail }
+     ->
+     check
+       (Printf.sprintf "pools quiescent (%d outstanding, %d leaked: %s)"
+          outstanding leaked
+          (String.concat "; " detail))
+       false);
+
   (* ---- summary ---- *)
   let doc =
     Json.Obj

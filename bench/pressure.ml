@@ -532,6 +532,20 @@ let () =
     tol;
   budget_axis ~quick:!quick;
   deadline_axis ();
+  (* teardown: every pooled buffer must have come back, across every
+     demoted, deadline-tripped, and budget-refused solve above *)
+  (match Repro_runtime.Mempool.assert_quiescent () with
+   | 0 -> record ~name:"pools quiescent at teardown" ~pass:true ~detail:[]
+   | n ->
+     record ~name:"pools quiescent at teardown" ~pass:false
+       ~detail:[ ("outstanding", Json.num n) ]
+   | exception Repro_runtime.Mempool.Not_quiescent { outstanding; leaked; detail }
+     ->
+     record ~name:"pools quiescent at teardown" ~pass:false
+       ~detail:
+         [ ("outstanding", Json.num outstanding);
+           ("leaked", Json.num leaked);
+           ("detail", Json.Arr (List.map (fun s -> Json.Str s) detail)) ]);
   let doc =
     Json.Obj
       [ ("schema", Json.Str "polymg.pressure/1");

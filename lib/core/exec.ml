@@ -296,6 +296,7 @@ let run_diamond ctx (dg : Plan.diamond_group) =
           | `S t -> Skewed.iter_tile ~steps:nsteps ~size ~tau ~sigma t ~f
           | `D t -> ignore t; assert false )
   in
+  let run_fronts () =
   Array.iter
     (fun front ->
       let t_front = Telemetry.begin_span () in
@@ -336,8 +337,20 @@ let run_diamond ctx (dg : Plan.diamond_group) =
       | Some ps -> Profile.stop p_front ps
       | None -> ())
     fronts;
-  inject ~gid:dg.Plan.gid ~stage:last.Plan.func.Func.name out_src;
-  if ctx.plan.Plan.opts.Options.pool then Mempool.release ctx.rt.pool tmp
+  inject ~gid:dg.Plan.gid ~stage:last.Plan.func.Func.name out_src
+  in
+  let release_tmp () =
+    if ctx.plan.Plan.opts.Options.pool then Mempool.release ctx.rt.pool tmp
+  in
+  (* a faulted or deadline-tripped front must not strand the pooled
+     scratch buffer: release it best-effort before re-raising, so the
+     pool stays quiescent across failed solves *)
+  match run_fronts () with
+  | () -> release_tmp ()
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    (try release_tmp () with _ -> ());
+    Printexc.raise_with_backtrace e bt
 
 (* ------------------------------------------------------------------ *)
 (* Work accounting (the paper's redundant-computation metric)           *)
@@ -453,8 +466,12 @@ let run plan rt ~inputs ~outputs =
   let p_run_site = if pon then Some (Profile.site "exec.run") else None in
   let ctx = { plan; rt; bufs; input_grids; func_sizes; psites } in
   let opts = plan.Plan.opts in
+  (* which array slots hold pool-acquired buffers (never the caller's
+     output grids) — the exception path below releases exactly these *)
+  let pooled = Array.make (Array.length plan.Plan.arrays) false in
   let t_run = Telemetry.begin_span () in
   let p_run = Profile.start () in
+  let run_groups () =
   Array.iteri
     (fun gi group ->
       let t_group = Telemetry.begin_span () in
@@ -465,7 +482,11 @@ let run plan rt ~inputs ~outputs =
           if info.Plan.first_group = gi && bufs.(a) = None then
             bufs.(a) <-
               Some
-                (if opts.Options.pool then Mempool.acquire rt.pool info.Plan.len
+                (if opts.Options.pool then begin
+                   let b = Mempool.acquire rt.pool info.Plan.len in
+                   pooled.(a) <- true;
+                   b
+                 end
                  else Buf.create_uninit info.Plan.len))
         plan.Plan.arrays;
       (* prefill ghost rims of this group's live-out grids *)
@@ -511,6 +532,7 @@ let run plan rt ~inputs ~outputs =
               match bufs.(a) with
               | Some b ->
                 Mempool.release rt.pool b;
+                pooled.(a) <- false;
                 bufs.(a) <- None
               | None -> ()
             end)
@@ -538,7 +560,26 @@ let run plan rt ~inputs ~outputs =
           name
       end;
       if p_group <> 0 && pon then Profile.stop p_group pgroups.(gi))
-    plan.Plan.groups;
+    plan.Plan.groups
+  in
+  (* exception safety: a crashed, faulted, or deadline-stopped group must
+     not strand its pool-acquired intermediates — a long-running server
+     tears the runtime down per request and checks quiescence.  Output
+     slots hold caller grids and are never released here. *)
+  (try run_groups ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Array.iteri
+       (fun a is_pooled ->
+         if is_pooled then begin
+           (match bufs.(a) with
+            | Some b -> ( try Mempool.release rt.pool b with _ -> ())
+            | None -> ());
+           pooled.(a) <- false;
+           bufs.(a) <- None
+         end)
+       pooled;
+     Printexc.raise_with_backtrace e bt);
   if t_run <> 0 then
     Telemetry.end_span t_run ~cat:"exec"
       ~args:[ ("groups", Telemetry.Int (Array.length plan.Plan.groups)) ]

@@ -98,7 +98,12 @@ let c_dropped = Telemetry.counter "flightrec.dropped"
 let c_incidents = Telemetry.counter "flightrec.incidents"
 let c_suppressed = Telemetry.counter "flightrec.incidents_suppressed"
 
-type dbuf = { dom : int; mutable ring : event Ring.t }
+(* Each domain owns one ring, but systhreads multiplexed onto the same
+   domain (the solver daemon's admission threads) share it — so every
+   ring operation takes the owning dbuf's lock.  Uncontended in the
+   domain-only case; the emit fast path when disabled is still just the
+   flag load. *)
+type dbuf = { dom : int; lock : Mutex.t; mutable ring : event Ring.t }
 
 let registry : dbuf list ref = ref []
 let registry_mutex = Mutex.create ()
@@ -107,6 +112,7 @@ let dbuf_key : dbuf Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let b =
         { dom = (Domain.self () :> int);
+          lock = Mutex.create ();
           ring = Ring.create (Atomic.get capacity) }
       in
       Mutex.lock registry_mutex;
@@ -117,28 +123,35 @@ let dbuf_key : dbuf Domain.DLS.key =
 let emit kind =
   if Atomic.get enabled_flag then begin
     let b = Domain.DLS.get dbuf_key in
+    let seq = Atomic.fetch_and_add seq_counter 1 in
+    let t_ns = Telemetry.now_ns () in
+    Mutex.lock b.lock;
     let was_full = Ring.length b.ring = Ring.capacity b.ring in
-    Ring.push b.ring
-      { t_ns = Telemetry.now_ns ();
-        dom = b.dom;
-        seq = Atomic.fetch_and_add seq_counter 1;
-        kind };
+    Ring.push b.ring { t_ns; dom = b.dom; seq; kind };
+    Mutex.unlock b.lock;
     Telemetry.add c_events 1;
     if was_full then Telemetry.add c_dropped 1
   end
 
-let events () =
+let with_rings f =
   Mutex.lock registry_mutex;
   let bufs = !registry in
   Mutex.unlock registry_mutex;
-  List.concat_map (fun b -> Ring.to_list b.ring) bufs
+  List.map
+    (fun b ->
+      Mutex.lock b.lock;
+      let r = f b in
+      Mutex.unlock b.lock;
+      r)
+    bufs
+
+let events () =
+  with_rings (fun b -> Ring.to_list b.ring)
+  |> List.concat
   |> List.sort (fun a b -> compare a.seq b.seq)
 
 let dropped_events () =
-  Mutex.lock registry_mutex;
-  let bufs = !registry in
-  Mutex.unlock registry_mutex;
-  List.fold_left (fun acc b -> acc + Ring.dropped b.ring) 0 bufs
+  with_rings (fun b -> Ring.dropped b.ring) |> List.fold_left ( + ) 0
 
 (* ------------------------------------------------------------------ *)
 (* Plan context *)
@@ -248,7 +261,13 @@ let set_max_incidents n =
   if n < 0 then invalid_arg "Flightrec.set_max_incidents";
   Atomic.set max_incidents n
 
+(* Two counters: [incident_seq] hands out file numbers (advanced past
+   any number another process already claimed on disk), while
+   [incidents_written] counts reports this process actually wrote and
+   enforces the per-process cap.  Keeping them separate means a number
+   lost to a cross-process EEXIST race doesn't eat into the cap. *)
 let incidents_written = Atomic.make 0
+let incident_seq = Atomic.make 0
 let incident_count () = Atomic.get incidents_written
 let incident_mutex = Mutex.create ()
 
@@ -278,76 +297,113 @@ let environment_json () =
         Json.Arr (Array.to_list (Array.map (fun a -> Json.Str a) Sys.argv)) )
     ]
 
+(* Claim a numbered incident path atomically: O_CREAT|O_EXCL creates
+   the placeholder iff the number is unclaimed, so two processes (or a
+   process racing a crashed predecessor's leftovers) can never agree on
+   the same filename.  The placeholder is immediately replaced by the
+   full report via [Snapshot.atomic_write_string] (write temp + rename),
+   so readers only ever see empty-or-complete, never torn.  Bounded so a
+   pathological directory cannot spin forever. *)
+let claim_path dir kind =
+  let rec try_claim attempts =
+    if attempts <= 0 then None
+    else begin
+      let n = Atomic.fetch_and_add incident_seq 1 in
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "incident-%03d-%s.json" (n + 1) (sanitize_kind kind))
+      in
+      match
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+      with
+      | fd ->
+        Unix.close fd;
+        Some (n, path)
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+        try_claim (attempts - 1)
+    end
+  in
+  try_claim 1000
+
 let incident ~kind ?cycle ?(detail = []) () =
   if not (Atomic.get enabled_flag) then None
   else
     match Atomic.get incident_dir with
     | None -> None
     | Some dir ->
-      if Atomic.get incidents_written >= Atomic.get max_incidents then begin
-        Telemetry.add c_suppressed 1;
-        None
-      end
-      else begin
-        Mutex.lock incident_mutex;
-        let path =
-          Fun.protect ~finally:(fun () -> Mutex.unlock incident_mutex)
-            (fun () ->
-              let n = Atomic.fetch_and_add incidents_written 1 in
-              let plan_digest, plan_variant =
-                match noted_plan () with
-                | Some (d, v) -> (d, v)
-                | None -> ("", "")
-              in
-              let doc =
-                Json.Obj
-                  [ ("schema", Json.Str "polymg.incident/1");
-                    ("seq", Json.num (n + 1));
-                    ("kind", Json.Str kind);
-                    ( "cycle",
-                      match cycle with
-                      | Some c -> Json.num c
-                      | None -> Json.Null );
-                    ( "plan",
-                      Json.Obj
-                        [ ("digest", Json.Str plan_digest);
-                          ("variant", Json.Str plan_variant) ] );
-                    ("detail", Json.Obj detail);
-                    ("events", Json.Arr (List.map event_to_json (events ())));
-                    ("dropped_events", Json.num (dropped_events ()));
-                    ( "counters",
-                      Json.Obj
-                        (List.map
-                           (fun (k, v) -> (k, Json.num v))
-                           (Telemetry.counters ())) );
-                    ("environment", environment_json ())
-                  ]
-              in
-              ensure_dir dir;
-              let path =
-                Filename.concat dir
-                  (Printf.sprintf "incident-%03d-%s.json" (n + 1)
-                     (sanitize_kind kind))
-              in
-              (* atomic replacement: a crash mid-dump must never leave a
-                 torn JSON file for incident_check/compare to trip on *)
-              Snapshot.atomic_write_string ~path (Json.to_string doc ^ "\n");
-              path)
-        in
-        Telemetry.add c_incidents 1;
-        Printf.eprintf "flightrec: incident %s (kind %s%s) -> %s\n%!"
-          (Filename.basename path) kind
-          (match cycle with
-          | Some c -> Printf.sprintf ", cycle %d" c
-          | None -> "")
-          path;
-        Some path
-      end
+      Mutex.lock incident_mutex;
+      let result =
+        Fun.protect ~finally:(fun () -> Mutex.unlock incident_mutex)
+          (fun () ->
+            (* Cap check under the mutex: concurrent solves can't both
+               sneak past a cap with one slot left. *)
+            if Atomic.get incidents_written >= Atomic.get max_incidents then
+              None
+            else
+              try
+                ensure_dir dir;
+                match claim_path dir kind with
+                | None -> None
+                | Some (n, path) ->
+                  let plan_digest, plan_variant =
+                    match noted_plan () with
+                    | Some (d, v) -> (d, v)
+                    | None -> ("", "")
+                  in
+                  let doc =
+                    Json.Obj
+                      [ ("schema", Json.Str "polymg.incident/1");
+                        ("seq", Json.num (n + 1));
+                        ("kind", Json.Str kind);
+                        ( "cycle",
+                          match cycle with
+                          | Some c -> Json.num c
+                          | None -> Json.Null );
+                        ( "plan",
+                          Json.Obj
+                            [ ("digest", Json.Str plan_digest);
+                              ("variant", Json.Str plan_variant) ] );
+                        ("detail", Json.Obj detail);
+                        ( "events",
+                          Json.Arr (List.map event_to_json (events ())) );
+                        ("dropped_events", Json.num (dropped_events ()));
+                        ( "counters",
+                          Json.Obj
+                            (List.map
+                               (fun (k, v) -> (k, Json.num v))
+                               (Telemetry.counters ())) );
+                        ("environment", environment_json ())
+                      ]
+                  in
+                  (* atomic replacement: a crash mid-dump must never leave
+                     a torn JSON file for incident_check/compare to trip
+                     on *)
+                  Snapshot.atomic_write_string ~path
+                    (Json.to_string doc ^ "\n");
+                  ignore (Atomic.fetch_and_add incidents_written 1);
+                  Some path
+              with _ ->
+                (* A report is best-effort evidence; failing to file one
+                   (disk full, permissions) must never take down the
+                   solve that produced it. *)
+                None)
+      in
+      (match result with
+       | Some path ->
+         Telemetry.add c_incidents 1;
+         Printf.eprintf "flightrec: incident %s (kind %s%s) -> %s\n%!"
+           (Filename.basename path) kind
+           (match cycle with
+           | Some c -> Printf.sprintf ", cycle %d" c
+           | None -> "")
+           path
+       | None -> Telemetry.add c_suppressed 1);
+      result
 
 let reset () =
-  Mutex.lock registry_mutex;
-  List.iter (fun b -> b.ring <- Ring.create (Atomic.get capacity)) !registry;
-  Mutex.unlock registry_mutex;
+  ignore
+    (with_rings (fun b -> b.ring <- Ring.create (Atomic.get capacity)));
   Atomic.set seq_counter 0;
   Atomic.set incidents_written 0;
+  Atomic.set incident_seq 0;
   Atomic.set plan_note None

@@ -19,8 +19,11 @@
     ]}
 
     Recording is multi-domain safe (each domain appends to its own
-    ring); the sinks ({!events}, {!incident}) and {!reset} must run
-    while no domain is actively recording. *)
+    ring) and systhread-safe (threads multiplexed onto one domain share
+    its ring under a per-ring lock, and incident filing serializes on a
+    process-wide mutex with OS-atomic file creation) — the solver daemon
+    records from concurrent request threads.  {!reset} still assumes no
+    recorder is mid-solve. *)
 
 (** {2 Ring buffers}
 
@@ -152,7 +155,14 @@ val incident :
     and variant, the caller's [detail] object, the retained event tail,
     the drop count, a {!Telemetry.counters} snapshot and the process
     environment.  Returns [None] (and writes nothing) when the recorder
-    is disabled, no incident directory is set, or the cap is reached. *)
+    is disabled, no incident directory is set, or the cap is reached.
+
+    Concurrency-safe: the file number is claimed with an atomic
+    exclusive create (two overlapping solves — even in different
+    processes sharing the directory — can never clobber each other's
+    reports), the per-process cap is checked under the incident mutex,
+    and filing never raises: an I/O failure is reported as [None] and
+    counted in [flightrec.incidents_suppressed]. *)
 
 val incident_count : unit -> int
 (** Reports written so far in this process. *)

@@ -44,6 +44,54 @@ let g_budget = Metrics.gauge "govern_pool_budget_bytes"
    stale or uninitialized read yields a NaN the solver-level guard can
    catch, and a recognizable canary bit pattern for the guard words laid
    down past each handed-out window. *)
+(* ------------------------------------------------------------------ *)
+(* Process-wide quiescence accounting.
+
+   [outstanding] counts buffers currently acquired across *every* pool
+   (ungated by the telemetry flag, so the ledger is exact whether or not
+   instrumentation is on).  [clear]-ing a pool that still holds acquired
+   buffers moves them to the leak ledger instead of silently forgiving
+   them — a runtime torn down mid-request with live buffers is exactly
+   the bug a long-running server must surface.  Campaign teardowns call
+   {!assert_quiescent} to turn either kind of residue into a failure. *)
+
+exception
+  Not_quiescent of {
+    outstanding : int;
+    leaked : int;
+    detail : string list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Not_quiescent { outstanding; leaked; detail } ->
+      Some
+        (Printf.sprintf
+           "Mempool.Not_quiescent(%d outstanding, %d leaked at clear%s)"
+           outstanding leaked
+           (match detail with
+            | [] -> ""
+            | l -> "; " ^ String.concat "; " l))
+    | _ -> None)
+
+let q_outstanding = Atomic.make 0
+let q_leaked = Atomic.make 0
+let q_mutex = Mutex.create ()
+let q_detail : string list ref = ref []
+let q_detail_cap = 16
+
+let note_leak ~buffers ~bytes ~poison =
+  ignore (Atomic.fetch_and_add q_leaked buffers);
+  ignore (Atomic.fetch_and_add q_outstanding (-buffers));
+  Mutex.lock q_mutex;
+  if List.length !q_detail < q_detail_cap then
+    q_detail :=
+      Printf.sprintf "pool cleared with %d live buffer(s), %d B%s" buffers
+        bytes
+        (if poison then " [poison]" else "")
+      :: !q_detail;
+  Mutex.unlock q_mutex
+
 let guard_elems = 4
 let snan = Int64.float_of_bits 0x7ff0_0000_dead_beefL
 let canary = Int64.float_of_bits 0x5CA1_AB1E_5CA1_AB1EL
@@ -135,6 +183,7 @@ let find_fit t need =
 let arm t e len =
   e.free <- false;
   e.acquires <- e.acquires + 1;
+  ignore (Atomic.fetch_and_add q_outstanding 1);
   if t.poison then begin
     let view = Buf.sub_view e.raw ~pos:0 ~len in
     Buf.fill view snan;
@@ -245,6 +294,7 @@ let release t buf =
   end;
   Telemetry.add c_release 1;
   e.free <- true;
+  ignore (Atomic.fetch_and_add q_outstanding (-1));
   t.live_bytes <- t.live_bytes - Buf.bytes e.raw
 
 let stats t =
@@ -258,6 +308,11 @@ let live_count t =
   List.length (List.filter (fun e -> not e.free) t.entries)
 
 let clear t =
+  let live = List.filter (fun e -> not e.free) t.entries in
+  if live <> [] then
+    note_leak ~buffers:(List.length live)
+      ~bytes:(List.fold_left (fun acc e -> acc + Buf.bytes e.raw) 0 live)
+      ~poison:t.poison;
   t.entries <- [];
   t.fresh_allocs <- 0;
   t.reuse_hits <- 0;
@@ -273,3 +328,23 @@ let with_pool ?poison ?budget f =
 let with_buf t len f =
   let b = acquire t len in
   Fun.protect ~finally:(fun () -> release t b) (fun () -> f b)
+
+let outstanding () = Atomic.get q_outstanding
+
+let assert_quiescent () =
+  let out = Atomic.get q_outstanding in
+  let leaked = Atomic.get q_leaked in
+  if out <> 0 || leaked <> 0 then begin
+    Mutex.lock q_mutex;
+    let detail = List.rev !q_detail in
+    Mutex.unlock q_mutex;
+    raise (Not_quiescent { outstanding = out; leaked; detail })
+  end;
+  0
+
+let reset_quiescence () =
+  Atomic.set q_outstanding 0;
+  Atomic.set q_leaked 0;
+  Mutex.lock q_mutex;
+  q_detail := [];
+  Mutex.unlock q_mutex

@@ -89,4 +89,36 @@ val stats : t -> stats
 val live_count : t -> int
 
 val clear : t -> unit
-(** Drops every buffer (free and acquired) and resets statistics. *)
+(** Drops every buffer (free and acquired) and resets statistics.
+    Buffers still acquired at clear time are recorded in the process-wide
+    leak ledger (see {!assert_quiescent}) — clearing does not forgive a
+    leak, it files it. *)
+
+(** {2 Process-wide quiescence}
+
+    Every acquire/release across every pool also updates one global
+    outstanding-buffer count (exact regardless of the telemetry flag).
+    Long-running hosts — the solver daemon, campaign teardowns — call
+    {!assert_quiescent} between requests or at shutdown to turn a leaked
+    buffer into a typed failure instead of slow memory growth. *)
+
+exception
+  Not_quiescent of {
+    outstanding : int;  (** buffers acquired and never released *)
+    leaked : int;  (** buffers dropped by {!clear} while still acquired *)
+    detail : string list;  (** per-pool descriptions (bounded) *)
+  }
+
+val outstanding : unit -> int
+(** Buffers currently acquired across all pools in this process. *)
+
+val assert_quiescent : unit -> int
+(** Returns 0 when no buffer is outstanding and nothing was leaked at
+    clear time; otherwise raises {!Not_quiescent} with per-pool detail.
+    The return value is the outstanding count, kept as an [int] so call
+    sites can log it. *)
+
+val reset_quiescence : unit -> unit
+(** Zeroes the global quiescence ledger.  For test harnesses that
+    deliberately leak (fault-injection campaigns) and must not poison
+    later checks. *)

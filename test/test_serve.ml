@@ -1,0 +1,460 @@
+(* Multigrid-as-a-service unit tests: the admission, fairness, and
+   plan-cache machinery of Repro_mg.Serve, driven deterministically with
+   a frozen injectable clock and caller-driven execution
+   ([sv_workers = 0] + [step]).  The concurrent end-to-end behavior is
+   exercised by bench/traffic.exe; here every queue bound, token-bucket
+   decision, eviction choice, and status/exit-code mapping is pinned
+   exactly. *)
+
+open Repro_mg
+
+(* -- harness ------------------------------------------------------------ *)
+
+(* A frozen clock the test advances by hand: token refill, queue waits,
+   and deadline checks all become exact arithmetic. *)
+let clock_now = ref 0.0
+
+let server ?(queue_cap = 64) ?(workers = 0) ?(tenants = []) ?(allow_faults = false)
+    () =
+  clock_now := 0.0;
+  let config =
+    { Serve.default_config with
+      Serve.sv_workers = workers;
+      sv_queue_cap = queue_cap;
+      sv_tenants = tenants;
+      sv_allow_faults = allow_faults;
+      sv_clock = (fun () -> !clock_now) }
+  in
+  Serve.create ~config ()
+
+(* The cheapest possible valid request: one naive V-cycle on the
+   smallest grid the default 4-level cycle accepts. *)
+let tiny tenant =
+  { Serve.default_request with
+    Serve.rq_tenant = tenant;
+    rq_n = 32;
+    rq_cycles = 1;
+    rq_variant = "naive" }
+
+(* Admission-only tests don't care about the solve: an unknown variant
+   is admitted normally and answered instantly at execution. *)
+let inert tenant = { (tiny tenant) with Serve.rq_variant = "bogus" }
+
+let status_t : Serve.status Alcotest.testable =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Serve.status_name s))
+    ( = )
+
+let check_status = Alcotest.check status_t
+
+(* -- status and code mapping -------------------------------------------- *)
+
+let all_statuses =
+  [ Serve.Ok; Serve.Invalid; Serve.Quarantined; Serve.Deadline; Serve.Faulted;
+    Serve.Infeasible; Serve.Unresumable; Serve.Shed ]
+
+let test_status_codes () =
+  let expect =
+    [ (Serve.Ok, 0); (Serve.Invalid, 2); (Serve.Quarantined, 3);
+      (Serve.Deadline, 4); (Serve.Faulted, 4); (Serve.Infeasible, 5);
+      (Serve.Unresumable, 6); (Serve.Shed, 7) ]
+  in
+  List.iter
+    (fun (s, code) ->
+      Alcotest.(check int) (Serve.status_name s) code (Serve.code_of_status s))
+    expect
+
+let test_status_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Serve.status_of_name (Serve.status_name s) with
+      | Some s' -> check_status (Serve.status_name s) s s'
+      | None -> Alcotest.fail ("unnamed status " ^ Serve.status_name s))
+    all_statuses;
+  Alcotest.(check bool) "unknown name" true (Serve.status_of_name "nope" = None)
+
+(* -- wire codec ---------------------------------------------------------- *)
+
+let test_request_codec_roundtrip () =
+  let rq =
+    { Serve.rq_tenant = "alice";
+      rq_dims = 3;
+      rq_n = 128;
+      rq_shape = Cycle.W;
+      rq_smoothing = (2, 5, 3);
+      rq_variant = "dtile-opt+";
+      rq_cycles = 7;
+      rq_tol = Some 1e-9;
+      rq_deadline_s = Some 2.5;
+      rq_mem_budget = Some 123456;
+      rq_resume_dir = Some "ckpt";
+      rq_fault = Some "nan" }
+  in
+  match Serve.request_of_json (Serve.request_to_json rq) with
+  | Ok rq' -> Alcotest.(check bool) "request round-trips" true (rq = rq')
+  | Error m -> Alcotest.fail m
+
+let test_request_defaults () =
+  (* an empty object parses to the defaults *)
+  match Serve.request_of_json (Repro_runtime.Json.Obj []) with
+  | Ok rq ->
+    Alcotest.(check bool) "defaults" true (rq = Serve.default_request)
+  | Error m -> Alcotest.fail m
+
+let test_response_codec_roundtrip () =
+  let rs =
+    { Serve.rs_status = Serve.Quarantined;
+      rs_code = 3;
+      rs_tenant = "bob";
+      rs_cycles = 4;
+      rs_residual = 0.125;
+      rs_queue_s = 0.5;
+      rs_solve_s = 1.25;
+      rs_retry_after_s = Some 0.75;
+      rs_plan_digest = "abcd";
+      rs_plan_cached = true;
+      rs_incidents = 2;
+      rs_detail = "quarantined after 2 faults" }
+  in
+  match Serve.response_of_json (Serve.response_to_json rs) with
+  | Ok rs' -> Alcotest.(check bool) "response round-trips" true (rs = rs')
+  | Error m -> Alcotest.fail m
+
+let with_temp_file f =
+  let path = Filename.temp_file "serve_frame" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ()) (fun () ->
+      f path)
+
+let test_frame_roundtrip () =
+  with_temp_file (fun path ->
+      let j = Serve.request_to_json (tiny "alice") in
+      let oc = open_out_bin path in
+      Serve.write_frame oc j;
+      Serve.write_frame oc j;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          (match Serve.read_frame ic with
+           | Some (Ok j') ->
+             Alcotest.(check bool) "first frame" true (j = j')
+           | Some (Error m) -> Alcotest.fail m
+           | None -> Alcotest.fail "unexpected EOF");
+          (match Serve.read_frame ic with
+           | Some (Ok _) -> ()
+           | _ -> Alcotest.fail "second frame lost");
+          Alcotest.(check bool) "clean EOF" true (Serve.read_frame ic = None)))
+
+let test_frame_oversized_refused () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      (* header claiming a payload one past the cap, no payload bytes *)
+      let len = Serve.max_frame_bytes + 1 in
+      output_byte oc ((len lsr 24) land 0xff);
+      output_byte oc ((len lsr 16) land 0xff);
+      output_byte oc ((len lsr 8) land 0xff);
+      output_byte oc (len land 0xff);
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          match Serve.read_frame ic with
+          | Some (Error _) -> ()
+          | Some (Ok _) -> Alcotest.fail "oversized frame accepted"
+          | None -> Alcotest.fail "oversized frame read as EOF"))
+
+let test_frame_truncated () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_byte oc 0;
+      output_byte oc 0;
+      output_byte oc 0;
+      output_byte oc 10;
+      output_string oc "abc";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          match Serve.read_frame ic with
+          | Some (Error _) -> ()
+          | _ -> Alcotest.fail "truncated frame not reported"))
+
+(* -- admission ------------------------------------------------------------ *)
+
+let test_tenant_queue_cap () =
+  let sv =
+    server
+      ~tenants:[ ("m", { Serve.default_tenant with Serve.tc_queue_cap = 3 }) ]
+      ()
+  in
+  let tks = List.init 5 (fun _ -> Serve.submit sv (inert "m")) in
+  let shed =
+    List.filter_map Serve.peek tks
+    |> List.filter (fun r -> r.Serve.rs_status = Serve.Shed)
+  in
+  Alcotest.(check int) "two shed at submit" 2 (List.length shed);
+  Alcotest.(check int) "three queued" 3 (Serve.pending sv);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "shed code" 7 r.Serve.rs_code;
+      Alcotest.(check bool) "retry hint" true (r.Serve.rs_retry_after_s <> None))
+    shed;
+  let st = Serve.tenant_stats sv "m" in
+  Alcotest.(check int) "accepted" 3 st.Serve.ts_accepted;
+  Alcotest.(check int) "shed" 2 st.Serve.ts_shed;
+  Serve.shutdown sv
+
+let test_token_bucket_math () =
+  let sv =
+    server
+      ~tenants:
+        [ ( "m",
+            { Serve.default_tenant with Serve.tc_rate = 2.0; tc_burst = 2.0 } )
+        ]
+      ()
+  in
+  let ok1 = Serve.submit sv (inert "m") in
+  let ok2 = Serve.submit sv (inert "m") in
+  Alcotest.(check bool) "burst admitted" true
+    (Serve.peek ok1 = None && Serve.peek ok2 = None);
+  (* bucket empty: the shed reply must say exactly when a token is back *)
+  (match Serve.peek (Serve.submit sv (inert "m")) with
+   | Some r ->
+     check_status "rate shed" Serve.Shed r.Serve.rs_status;
+     (match r.Serve.rs_retry_after_s with
+      | Some ra ->
+        Alcotest.(check (float 1e-9)) "retry_after = (1 - tokens)/rate" 0.5 ra
+      | None -> Alcotest.fail "no retry_after on rate shed")
+   | None -> Alcotest.fail "rate shed not answered at submit");
+  (* half a second later one token has refilled *)
+  clock_now := 0.5;
+  Alcotest.(check bool) "refilled token admits" true
+    (Serve.peek (Serve.submit sv (inert "m")) = None);
+  (* and it was spent: the next submission sheds again *)
+  (match Serve.peek (Serve.submit sv (inert "m")) with
+   | Some r -> check_status "spent again" Serve.Shed r.Serve.rs_status
+   | None -> Alcotest.fail "expected rate shed");
+  Serve.shutdown sv
+
+let test_eviction_heaviest_newest () =
+  let sv = server ~queue_cap:2 () in
+  let g1 = Serve.submit sv (inert "greedy") in
+  let g2 = Serve.submit sv (inert "greedy") in
+  Alcotest.(check int) "global queue full" 2 (Serve.pending sv);
+  let m1 = Serve.submit sv (inert "meek") in
+  (* the newest request of the heaviest tenant made room *)
+  Alcotest.(check bool) "oldest greedy kept" true (Serve.peek g1 = None);
+  (match Serve.peek g2 with
+   | Some r ->
+     check_status "newest greedy evicted" Serve.Shed r.Serve.rs_status;
+     Alcotest.(check int) "eviction code" 7 r.Serve.rs_code
+   | None -> Alcotest.fail "eviction not answered");
+  Alcotest.(check bool) "meek admitted" true (Serve.peek m1 = None);
+  Alcotest.(check int) "still at cap" 2 (Serve.pending sv);
+  let g = Serve.tenant_stats sv "greedy" and m = Serve.tenant_stats sv "meek" in
+  Alcotest.(check int) "greedy evicted" 1 g.Serve.ts_evicted;
+  Alcotest.(check int) "meek untouched" 0 (m.Serve.ts_evicted + m.Serve.ts_shed);
+  Serve.shutdown sv
+
+(* -- fairness -------------------------------------------------------------- *)
+
+let test_round_robin_order () =
+  let sv = server () in
+  (* alice floods three, bob and carol one each — service order must
+     interleave: alice, bob, carol, alice, alice *)
+  let tks =
+    (* List.map so the submissions are sequenced left to right (a list
+       literal would evaluate them right to left) *)
+    List.map
+      (fun name -> (name, Serve.submit sv (inert name)))
+      [ "alice"; "alice"; "alice"; "bob"; "carol" ]
+  in
+  let served = ref [] in
+  while Serve.step sv do
+    let newly =
+      List.find_opt
+        (fun (name, tk) ->
+          Serve.peek tk <> None
+          && not (List.exists (fun (n, t) -> n == name && t == tk) !served))
+        tks
+    in
+    match newly with
+    | Some pair -> served := pair :: !served
+    | None -> Alcotest.fail "step answered no ticket"
+  done;
+  Alcotest.(check (list string)) "round-robin order"
+    [ "alice"; "bob"; "carol"; "alice"; "alice" ]
+    (List.rev_map fst !served);
+  Serve.shutdown sv
+
+(* -- deadlines ------------------------------------------------------------ *)
+
+let test_deadline_expired_in_queue () =
+  let sv = server () in
+  let tk =
+    Serve.submit sv { (tiny "t") with Serve.rq_deadline_s = Some 1.0 }
+  in
+  clock_now := 2.0;
+  Alcotest.(check bool) "one step" true (Serve.step sv);
+  (match Serve.peek tk with
+   | Some r ->
+     check_status "queued past deadline" Serve.Deadline r.Serve.rs_status;
+     Alcotest.(check int) "deadline code" 4 r.Serve.rs_code;
+     Alcotest.(check int) "no cycle ran" 0 r.Serve.rs_cycles
+   | None -> Alcotest.fail "not answered");
+  Serve.shutdown sv
+
+(* -- plan cache ----------------------------------------------------------- *)
+
+let test_plan_cache_hits () =
+  let sv = server () in
+  let solve rq =
+    let tk = Serve.submit sv rq in
+    Serve.drain sv;
+    Serve.await tk
+  in
+  let r1 = solve (tiny "t") in
+  check_status "first ok" Serve.Ok r1.Serve.rs_status;
+  Alcotest.(check bool) "first is a miss" false r1.Serve.rs_plan_cached;
+  let r2 = solve (tiny "t") in
+  check_status "second ok" Serve.Ok r2.Serve.rs_status;
+  Alcotest.(check bool) "repeat shape hits" true r2.Serve.rs_plan_cached;
+  Alcotest.(check bool) "same plan digest" true
+    (r1.Serve.rs_plan_digest = r2.Serve.rs_plan_digest
+    && r1.Serve.rs_plan_digest <> "");
+  Alcotest.(check (pair int int)) "stats" (1, 1) (Serve.plan_cache_stats sv);
+  (* a different budget is a different governance question: fresh entry *)
+  let r3 =
+    solve { (tiny "t") with Serve.rq_mem_budget = Some (64 * 1024 * 1024) }
+  in
+  Alcotest.(check bool) "budget splits the key" false r3.Serve.rs_plan_cached;
+  Alcotest.(check (pair int int)) "stats after budget" (1, 2)
+    (Serve.plan_cache_stats sv);
+  Serve.shutdown sv
+
+(* -- end-to-end statuses (caller-driven) ---------------------------------- *)
+
+let test_solve_statuses () =
+  let sv = server ~workers:1 ~allow_faults:true () in
+  let r = Serve.solve sv (tiny "t") in
+  check_status "ok" Serve.Ok r.Serve.rs_status;
+  Alcotest.(check bool) "residual finite" true (Float.is_finite r.Serve.rs_residual);
+  Alcotest.(check bool) "cycles ran" true (r.Serve.rs_cycles >= 1);
+  let r = Serve.solve sv (inert "t") in
+  check_status "invalid" Serve.Invalid r.Serve.rs_status;
+  let r = Serve.solve sv { (tiny "t") with Serve.rq_mem_budget = Some 4096 } in
+  check_status "infeasible" Serve.Infeasible r.Serve.rs_status;
+  let r =
+    Serve.solve sv
+      { (tiny "t") with Serve.rq_resume_dir = Some "serve-no-such-ckpt" }
+  in
+  check_status "unresumable" Serve.Unresumable r.Serve.rs_status;
+  let r =
+    Serve.solve sv
+      { (tiny "t") with Serve.rq_fault = Some "nan"; rq_cycles = 4 }
+  in
+  check_status "nan quarantined" Serve.Quarantined r.Serve.rs_status;
+  (* isolation: the same server answers cleanly right after *)
+  let r = Serve.solve sv (tiny "t") in
+  check_status "isolated" Serve.Ok r.Serve.rs_status;
+  Serve.shutdown sv
+
+let test_faults_refused_by_default () =
+  let sv = server ~workers:1 () in
+  let r = Serve.solve sv { (tiny "t") with Serve.rq_fault = Some "nan" } in
+  check_status "chaos gated" Serve.Invalid r.Serve.rs_status;
+  Serve.shutdown sv
+
+(* -- randomized admission invariants -------------------------------------- *)
+
+(* Any interleaving of submissions across three tenants keeps the exact
+   bookkeeping identities: accepted + shed = submitted per tenant,
+   the global queue never exceeds its cap, and after a drain every
+   ticket is answered with sheds carrying code 7. *)
+let prop_admission_invariants =
+  QCheck.Test.make ~count:100 ~name:"admission bookkeeping is exact"
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 2))
+    (fun tenant_idxs ->
+      let names = [| "a"; "b"; "c" |] in
+      let sv =
+        server ~queue_cap:5
+          ~tenants:
+            (Array.to_list names
+            |> List.map (fun n ->
+                   (n, { Serve.default_tenant with Serve.tc_queue_cap = 3 })))
+          ()
+      in
+      let submitted = Array.make 3 0 in
+      let ok = ref true in
+      let tks =
+        List.map
+          (fun i ->
+            submitted.(i) <- submitted.(i) + 1;
+            let tk = Serve.submit sv (inert names.(i)) in
+            if Serve.pending sv > 5 then ok := false;
+            tk)
+          tenant_idxs
+      in
+      Serve.drain sv;
+      let responses = List.map Serve.await tks in
+      let sheds =
+        List.length
+          (List.filter (fun r -> r.Serve.rs_status = Serve.Shed) responses)
+      in
+      let tot_shed = ref 0 in
+      Array.iteri
+        (fun i name ->
+          let st = Serve.tenant_stats sv name in
+          if st.Serve.ts_accepted + st.Serve.ts_shed <> submitted.(i) then
+            ok := false;
+          if st.Serve.ts_evicted > st.Serve.ts_accepted then ok := false;
+          tot_shed := !tot_shed + st.Serve.ts_shed + st.Serve.ts_evicted)
+        names;
+      if sheds <> !tot_shed then ok := false;
+      if Serve.pending sv <> 0 then ok := false;
+      List.iter
+        (fun r ->
+          if r.Serve.rs_status = Serve.Shed && r.Serve.rs_code <> 7 then
+            ok := false)
+        responses;
+      Serve.shutdown sv;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "mapping",
+        [ Alcotest.test_case "status exit codes" `Quick test_status_codes;
+          Alcotest.test_case "status names round-trip" `Quick
+            test_status_names_roundtrip ] );
+      ( "codec",
+        [ Alcotest.test_case "request round-trip" `Quick
+            test_request_codec_roundtrip;
+          Alcotest.test_case "request defaults" `Quick test_request_defaults;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_codec_roundtrip;
+          Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "oversized frame refused" `Quick
+            test_frame_oversized_refused;
+          Alcotest.test_case "truncated frame reported" `Quick
+            test_frame_truncated ] );
+      ( "admission",
+        [ Alcotest.test_case "tenant queue cap sheds" `Quick
+            test_tenant_queue_cap;
+          Alcotest.test_case "token bucket math" `Quick test_token_bucket_math;
+          Alcotest.test_case "eviction picks heaviest tenant's newest" `Quick
+            test_eviction_heaviest_newest ] );
+      ( "fairness",
+        [ Alcotest.test_case "round-robin across tenants" `Quick
+            test_round_robin_order ] );
+      ( "deadlines",
+        [ Alcotest.test_case "expired while queued" `Quick
+            test_deadline_expired_in_queue ] );
+      ( "plan-cache",
+        [ Alcotest.test_case "hit, miss, and budget split" `Quick
+            test_plan_cache_hits ] );
+      ( "solve",
+        [ Alcotest.test_case "status per request class" `Quick
+            test_solve_statuses;
+          Alcotest.test_case "chaos hook gated by config" `Quick
+            test_faults_refused_by_default ] );
+      ( "properties",
+        [ Qc_replay.to_alcotest prop_admission_invariants ] ) ]
