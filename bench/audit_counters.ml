@@ -6,7 +6,8 @@
 
    Scans every .ml under LIBDIR for [Telemetry.counter "NAME"]
    registrations, keeps the audited families (the guard, govern,
-   flightrec, snapshot, profile, ledger and serve prefixes), and requires each
+   flightrec, snapshot, profile, ledger, serve and native prefixes), and
+   requires each
    name to appear verbatim in at
    least one DOC (the README/TESTING counter tables).  Exits 1 listing any
    undocumented counter — and any documented counter of those families
@@ -16,7 +17,7 @@ let audited name =
   List.exists
     (fun p -> String.starts_with ~prefix:p name)
     [ "guard."; "govern."; "flightrec."; "snapshot."; "profile."; "ledger.";
-      "serve." ]
+      "serve."; "native." ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -79,7 +80,7 @@ let () =
     let stale =
       let re =
         Str.regexp
-          "`\\(\\(guard\\|govern\\|flightrec\\|snapshot\\|profile\\|ledger\\|serve\\)\\.[a-z_.]+\\)`"
+          "`\\(\\(guard\\|govern\\|flightrec\\|snapshot\\|profile\\|ledger\\|serve\\|native\\)\\.[a-z_.]+\\)`"
       in
       let rec collect i acc =
         match Str.search_forward re doc_text i with

@@ -5,7 +5,7 @@
 
    Usage:
      compare.exe OLD.json NEW.json [--threshold 0.25] [--relative VARIANT]
-                 [--json VERDICT.json]
+                 [--faster-than FAST,SLOW]... [--json VERDICT.json]
 
    Keys:
      bench files    "<bench> n=<n> dims=<d> domains=<p> <variant>"
@@ -27,6 +27,15 @@
    lacks, or vice versa — are tolerated: they get a stderr warning and a
    MISSING/NEW row, never a failure, so schema growth can't break the
    regression gate against an old baseline.
+
+   --faster-than FAST,SLOW (repeatable) asserts an ordering *within the
+   NEW file*: in every (bench, n, dims, domains) group where both
+   variants appear, FAST's seconds-per-cycle must be strictly below
+   SLOW's.  An inversion is a regression (exit 1) — this is how CI flags
+   the optimized DSL variant slipping below the naive one under the
+   native backend, where both move together and a baseline-relative
+   threshold would stay green.  A pair that matches no group at all is
+   an unusable input (exit 2), never a silent pass.
 
    --json PATH additionally writes the verdicts as a machine-readable
    polymg.compare/1 document (atomic write), so CI jobs and trend
@@ -142,6 +151,64 @@ let rows_of path ~relative =
     fail "compare: %s: no comparable measurements (truncated run?)" path;
   rows
 
+(* (group, variant, s_per_cycle) triples of a polymg.bench/1 document,
+   for the --faster-than ordering gate *)
+let bench_triples path =
+  let doc = read_doc path in
+  (match Option.bind (Json.member "schema" doc) Json.to_str with
+   | Some "polymg.bench/1" -> ()
+   | Some s -> fail "compare: --faster-than needs a bench file, %s is %s" path s
+   | None -> fail "compare: %s: missing \"schema\" field" path);
+  let records =
+    match Json.member "records" doc with
+    | Some r -> Json.to_list r
+    | None -> []
+  in
+  List.map
+    (fun r ->
+      let field k = Option.value (Json.member k r) ~default:Json.Null in
+      ( Printf.sprintf "%s n=%d dims=%d domains=%d"
+          (str (field "bench")) (inum (field "n")) (inum (field "dims"))
+          (inum (field "domains")),
+        str (field "variant"),
+        num (field "s_per_cycle") ))
+    records
+
+(* Check one FAST,SLOW ordering over every group of the new file where
+   both variants appear; returns the number of inversions.  Zero groups
+   with both variants is exit 2 — an ordering gate that never fires
+   would pass vacuously forever. *)
+let check_ordering triples ~fast ~slow ~emit =
+  let find group v =
+    List.find_map
+      (fun (g, var, s) -> if g = group && var = v then Some s else None)
+      triples
+  in
+  let groups =
+    List.sort_uniq compare (List.map (fun (g, _, _) -> g) triples)
+  in
+  let inversions = ref 0 and matched = ref 0 in
+  List.iter
+    (fun group ->
+      match (find group fast, find group slow) with
+      | Some tf, Some ts ->
+        incr matched;
+        let ok = tf < ts in
+        if not ok then incr inversions;
+        let verdict = if ok then "ordered" else "INVERSION" in
+        Printf.printf "| %s %s < %s | %.4g | %.4g | %.3f | %s |\n" group
+          fast slow tf ts (tf /. ts) verdict;
+        emit
+          (Printf.sprintf "%s %s<%s" group fast slow)
+          (Some ts) (Some tf)
+          (Some (tf /. ts))
+          verdict
+      | _ -> ())
+    groups;
+  if !matched = 0 then
+    fail "compare: --faster-than %s,%s: no group has both variants" fast slow;
+  !inversions
+
 let fnum f = if Float.is_finite f then Json.Num f else Json.Null
 let fopt = function Some f -> fnum f | None -> Json.Null
 
@@ -149,9 +216,19 @@ let () =
   let threshold = ref 0.25 in
   let relative = ref None in
   let json_out = ref None in
+  let orderings = ref [] in
   let files = ref [] in
   let rec go = function
     | [] -> ()
+    | "--faster-than" :: v :: rest ->
+      (match String.index_opt v ',' with
+       | Some i when i > 0 && i < String.length v - 1 ->
+         orderings :=
+           ( String.sub v 0 i,
+             String.sub v (i + 1) (String.length v - i - 1) )
+           :: !orderings
+       | Some _ | None -> fail "compare: bad --faster-than %s (want FAST,SLOW)" v);
+      go rest
     | "--threshold" :: v :: rest ->
       (match float_of_string_opt v with
        | Some t when t > 0.0 -> threshold := t
@@ -175,7 +252,7 @@ let () =
     | _ ->
       fail
         "usage: compare.exe OLD.json NEW.json [--threshold 0.25] [--relative \
-         VARIANT] [--json VERDICT.json]"
+         VARIANT] [--faster-than FAST,SLOW] [--json VERDICT.json]"
   in
   let old_rows = rows_of old_path ~relative:!relative in
   let new_rows = rows_of new_path ~relative:!relative in
@@ -224,6 +301,15 @@ let () =
         emit key None (Some t_new) None "NEW"
       end)
     new_rows;
+  (match List.rev !orderings with
+   | [] -> ()
+   | pairs ->
+     let triples = bench_triples new_path in
+     List.iter
+       (fun (fast, slow) ->
+         regressions :=
+           !regressions + check_ordering triples ~fast ~slow ~emit)
+       pairs);
   Printf.printf
     "\ncompare: %d keys, %d regression(s), %d improvement(s), %d \
      missing/new (threshold %.0f%%%s)\n"

@@ -10,6 +10,10 @@
      - emitted-C run-equivalence: the self-contained C driver is
        compiled (gcc, falling back to cc), executed, and its grid dump
        diffed against the engine; a visible skip when no compiler;
+     - backend axis: every plan variant's dlopen'd native kernel
+       (Repro_core.Native) run in lockstep against the interpreter on
+       the same plan, over the full campaign matrix; a visible skip
+       when no compiler;
      - MMS convergence: solving the manufactured Poisson problem at
        n, 2n, 4n must show observed order 2.0 +/- 0.1 in 2D and 3D;
      - injected-bug self-test: a stencil coefficient perturbed by 1e-3
@@ -60,6 +64,22 @@ let run_c ~quick =
   if skips > 0 then Format.printf "c-equivalence: %d case(s) SKIPPED@." skips;
   leg "c-equivalence" (List.for_all (fun (_, v) -> Conformance.c_verdict_pass v) verdicts);
   verdicts
+
+(* -- leg 2b: backend axis (interpreter vs native) ----------------------- *)
+
+let run_native ~quick =
+  Format.printf "@.== backend axis: interpreter vs native (budget %.1e) ==@."
+    Conformance.default_budgets.Conformance.vs_c;
+  match Conformance.native_campaign ~quick () with
+  | Error reason ->
+    (* visible skip, never a silent pass *)
+    Format.printf "native: SKIPPED (%s)@." reason;
+    leg "native" true;
+    Error reason
+  | Ok cases ->
+    List.iter (fun c -> Format.printf "%a@." Conformance.pp_case c) cases;
+    leg "native" (List.for_all Conformance.case_pass cases);
+    Ok cases
 
 (* -- leg 3: MMS convergence order --------------------------------------- *)
 
@@ -231,6 +251,7 @@ let () =
     (if !quick then " (quick)" else "");
   let oracle = run_oracle ~quick:!quick in
   let c_verdicts = run_c ~quick:!quick in
+  let native = run_native ~quick:!quick in
   let mms = run_mms ~quick:!quick in
   let health = run_health ~quick:!quick in
   let selftest = run_selftest ~quick:!quick in
@@ -241,6 +262,13 @@ let () =
         ("oracle", Json.Arr (List.map Conformance.json_of_case oracle));
         ( "c_equivalence",
           Json.Arr (List.map Conformance.json_of_c_verdict c_verdicts) );
+        ( "native",
+          match native with
+          | Error reason ->
+            Json.Obj
+              [ ("status", Json.Str "skip"); ("reason", Json.Str reason) ]
+          | Ok cases ->
+            Json.Arr (List.map Conformance.json_of_case cases) );
         ("mms", Json.Arr (List.map Conformance.json_of_mms mms));
         ("health", Json.Arr (List.map json_of_health health));
         ( "injected_bug",

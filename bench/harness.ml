@@ -95,6 +95,31 @@ let all_variants =
     tuned_variant "polymg-opt+" Options.opt_plus;
     tuned_variant "polymg-dtile-opt+" Options.dtile_opt_plus ]
 
+(* A preset run through the native backend (compiled, dlopen'd kernels).
+   The stepper build compiles (or cache-hits) the kernel, so the timed
+   region measures kernel calls only.  Forced Native, never Auto: a
+   missing compiler must fail the bench loudly, not quietly measure the
+   interpreter. *)
+let native_variant vname opts =
+  { vname = vname ^ "/native";
+    make =
+      (fun cfg ~n ~rt ->
+        Solver.polymg_stepper cfg ~n
+          ~opts:{ opts with Options.backend = Options.Native }
+          ~rt) }
+
+(* The equal-footing comparison the native backend exists for: every
+   preset as a compiled kernel, the interpreted naive/opt+ plans and the
+   hand-written baseline alongside. *)
+let native_variants =
+  [ polymg_variant "polymg-naive" Options.naive;
+    polymg_variant "polymg-opt+" Options.opt_plus;
+    handopt_variant;
+    native_variant "polymg-naive" Options.naive;
+    native_variant "polymg-opt" Options.opt;
+    native_variant "polymg-opt+" Options.opt_plus;
+    native_variant "polymg-dtile-opt+" Options.dtile_opt_plus ]
+
 let benchmarks ~dims =
   [ Cycle.default ~dims ~shape:Cycle.V ~smoothing:(4, 4, 4);
     Cycle.default ~dims ~shape:Cycle.V ~smoothing:(10, 0, 0);

@@ -110,7 +110,23 @@ let tenant_conv =
           tc.tc_queue_cap )
 
 let run listen workers queue_cap max_cycles max_n domains allow_faults
-    tenants incident_dir max_incidents telemetry =
+    tenants incident_dir max_incidents telemetry backend =
+  let backend =
+    match Repro_core.Options.backend_of_string backend with
+    | Some b -> b
+    | None ->
+      prerr_endline "backend must be interp, native or auto";
+      exit 2
+  in
+  (* a daemon asked to run compiled kernels without a compiler should
+     refuse at startup, not per request mid-traffic *)
+  (match backend with
+   | Repro_core.Options.Native when not (Repro_core.Native.available ()) ->
+     prerr_endline
+       "mg_served: --backend native, but no C compiler was found (tried \
+        gcc, cc)";
+     exit 2
+   | _ -> ());
   if telemetry then Telemetry.set_enabled true;
   (match incident_dir with
    | Some dir ->
@@ -126,7 +142,8 @@ let run listen workers queue_cap max_cycles max_n domains allow_faults
       sv_max_n = max_n;
       sv_domains = domains;
       sv_allow_faults = allow_faults;
-      sv_tenants = tenants }
+      sv_tenants = tenants;
+      sv_backend = backend }
   in
   let server = Serve.create ~config () in
   (match listen with
@@ -233,6 +250,18 @@ let telemetry_t =
     & info [ "telemetry" ]
         ~doc:"Enable telemetry counters and serve.* metrics recording.")
 
+let backend_t =
+  Arg.(
+    value & opt string "interp"
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend for every admitted request's plan: \
+           $(b,interp), $(b,native) (refuses to start without a C \
+           compiler; a per-plan compile failure fails that request), or \
+           $(b,auto) (native with a counted, incident-filing fallback to \
+           the interpreter).  A deployment property of the daemon — \
+           requests cannot select a backend.")
+
 let cmd =
   let doc = "long-running multigrid solve daemon (multigrid-as-a-service)" in
   let exits =
@@ -245,6 +274,6 @@ let cmd =
     Term.(
       const run $ listen_t $ workers_t $ queue_cap_t $ max_cycles_t $ max_n_t
       $ domains_t $ allow_faults_t $ tenants_t $ incident_dir_t
-      $ max_incidents_t $ telemetry_t)
+      $ max_incidents_t $ telemetry_t $ backend_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,10 +30,10 @@ let print_status_summary stats =
     (count Solver.Ok) (count Solver.Nan) (count Solver.Diverged)
     (count Solver.Stagnated)
 
-let run dims cycle smoothing levels n variant cycles domains verbose profile
-    trace metrics tol max_cycles guard no_fallback poison mem_budget deadline
-    conform health no_flightrec incident_dir checkpoint_dir checkpoint_every
-    resume =
+let run dims cycle smoothing levels n variant backend cycles domains verbose
+    profile trace metrics tol max_cycles guard no_fallback poison mem_budget
+    deadline conform health no_flightrec incident_dir checkpoint_dir
+    checkpoint_every resume =
   Gc.set
     { (Gc.get ()) with
       Gc.custom_major_ratio = 10000;
@@ -90,11 +90,20 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
           s;
         exit 2)
   in
-  (* Governance knobs ride on the options record, so every plan built
-     from them (including demoted ladder rungs) inherits them. *)
+  let backend =
+    match Options.backend_of_string backend with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "backend must be interp, native or auto, not %s\n"
+        backend;
+      exit 2
+  in
+  (* Governance knobs and the execution backend ride on the options
+     record, so every plan built from them (including demoted ladder
+     rungs) inherits them. *)
   let polymg_opts =
     Option.map
-      (fun o -> { o with Options.mem_budget; deadline })
+      (fun o -> { o with Options.mem_budget; deadline; backend })
       (Options.variant_of_string variant)
   in
   if (mem_budget <> None || deadline <> None) && polymg_opts = None then begin
@@ -102,6 +111,13 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
       "--mem-budget/--deadline require a PolyMG variant \
        (naive|opt|opt+|dtile-opt+), not %s\n"
       variant;
+    exit 2
+  end;
+  if backend <> Options.Interp && polymg_opts = None then begin
+    Printf.eprintf
+      "--backend %s requires a PolyMG variant \
+       (naive|opt|opt+|dtile-opt+), not %s\n"
+      (Options.backend_name backend) variant;
     exit 2
   end;
   (* The flight recorder is always-on (bounded per-domain rings, one
@@ -402,7 +418,19 @@ let run dims cycle smoothing levels n variant cycles domains verbose profile
         print_stats r.Solver.stats;
         (r.Solver.stats, r.Solver.v, r.Solver.total_seconds)
       end
-    with e ->
+    with
+    | Native.Unavailable msg ->
+      (* forced --backend native could not run (no compiler, unemittable
+         plan, or a compile failure): a deliberate request, a clean
+         refusal — never a silent interpreter downgrade *)
+      ignore
+        (Flightrec.incident ~kind:"native-unavailable"
+           ~detail:[ ("reason", Json.Str msg) ]
+           ());
+      Telemetry.set_enabled false;
+      Printf.eprintf "native: %s\n" msg;
+      exit 7
+    | e ->
       (* any anomaly the structured paths did not already report *)
       ignore
         (Flightrec.incident ~kind:"exception"
@@ -503,6 +531,18 @@ let variant_t =
     value & opt string "opt+"
     & info [ "variant" ]
         ~doc:"naive | opt | opt+ | dtile-opt+ | handopt | handopt+pluto.")
+
+let backend_t =
+  Arg.(
+    value & opt string "interp"
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend for PolyMG plans: $(b,interp) runs the plan \
+           through the engine's interpreter; $(b,native) compiles the \
+           plan's emitted C to a dlopen'd kernel (exits 7 when no C \
+           compiler is available or the plan cannot be compiled); \
+           $(b,auto) prefers native and falls back to the interpreter, \
+           counting the fallback and filing a native-fallback incident.")
 
 let cycles_t =
   Arg.(value & opt int 5 & info [ "cycles" ] ~doc:"Multigrid cycles to run.")
@@ -699,14 +739,19 @@ let cmd =
            "resume failed: --checkpoint-dir holds no usable checkpoint \
             generation (or the checkpoint is for a different problem \
             size)."
+    :: Cmd.Exit.info 7
+         ~doc:
+           "native backend unavailable: --backend native was forced but \
+            no C compiler was found, the plan is not compilable, or \
+            compilation failed."
     :: Cmd.Exit.defaults
   in
   Cmd.v
     (Cmd.info "mg_solve" ~doc ~exits)
     Term.(
       const run $ dims_t $ cycle_t $ smoothing_t $ levels_t $ n_t $ variant_t
-      $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t $ metrics_t
-      $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t
+      $ backend_t $ cycles_t $ domains_t $ verbose_t $ profile_t $ trace_t
+      $ metrics_t $ tol_t $ max_cycles_t $ guard_t $ no_fallback_t $ poison_t
       $ mem_budget_t $ deadline_t $ conform_t $ health_t $ no_flightrec_t
       $ incident_dir_t $ checkpoint_dir_t $ checkpoint_every_t $ resume_t)
 

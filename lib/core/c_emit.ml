@@ -679,6 +679,9 @@ let emit fmt (plan : Plan.t) =
 
 let to_string plan = Format.asprintf "%a" emit plan
 
+let pipeline_symbol (plan : Plan.t) =
+  "pipeline_" ^ c_ident (Pipeline.name plan.Plan.pipeline)
+
 let line_count plan =
   to_string plan |> String.split_on_char '\n' |> List.length
 

@@ -27,6 +27,10 @@ val to_string : Plan.t -> string
 val line_count : Plan.t -> int
 (** Lines of the emitted C — Table 3's "Lines of gen. code". *)
 
+val pipeline_symbol : Plan.t -> string
+(** Name of the emitted pipeline function ([pipeline_<name>]), as
+    declared by {!emit} — the symbol {!Native} wraps and calls. *)
+
 val runnable : Plan.t -> (unit, string) result
 (** [Ok ()] when every compiled kernel is affine ([Lin]) and every
     diamond chain has an emittable init source, i.e. the emitted C is a

@@ -3,6 +3,8 @@ type smoother_path =
   | Diamond_smoother of { sigma : int }
   | Skewed_smoother of { tau : int; sigma : int }
 
+type backend = Interp | Native | Auto
+
 type t = {
   fuse : bool;
   tile_2d : int array;
@@ -19,6 +21,7 @@ type t = {
   check_plan : bool;
   mem_budget : int option;
   deadline : float option;
+  backend : backend;
 }
 
 let naive =
@@ -36,7 +39,8 @@ let naive =
     walk_kernels = true;
     check_plan = false;
     mem_budget = None;
-    deadline = None }
+    deadline = None;
+    backend = Interp }
 
 let opt =
   { naive with fuse = true; group_size_limit = 6 }
@@ -73,6 +77,17 @@ let name t =
 
 let with_tiles t ~t2 ~t3 = { t with tile_2d = t2; tile_3d = t3 }
 
+let backend_of_string = function
+  | "interp" -> Some Interp
+  | "native" -> Some Native
+  | "auto" -> Some Auto
+  | _ -> None
+
+let backend_name = function
+  | Interp -> "interp"
+  | Native -> "native"
+  | Auto -> "auto"
+
 let pp fmt t =
   let smoother =
     match t.smoother with
@@ -90,6 +105,10 @@ let pp fmt t =
     | Some d -> Printf.sprintf " deadline=%gs" d
     | None -> ""
   in
+  (* [backend] is deliberately not printed: it selects how a plan is
+     executed, not what it computes, and [Plan.summary] (hence the plan
+     digest, checkpoint identity, and the native compile-cache key) must
+     stay identical across backends. *)
   Format.fprintf fmt
     "{%s fuse=%b tiles2d=%s tiles3d=%s limit=%d scratch_reuse=%b \
      array_reuse=%b pool=%b smoother=%s%s}"

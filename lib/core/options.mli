@@ -14,6 +14,18 @@ type smoother_path =
       (** smoothing chains executed with time-skewed (wavefront) tiling —
           the §5 comparison scheme with pipelined startup *)
 
+type backend =
+  | Interp  (** the plan interpreter ({!Exec.run}) — always available *)
+  | Native
+      (** emitted C compiled to a shared object and called directly
+          ({!Native}); requires a system C compiler and an emittable
+          (all-affine) plan, and fails the solve when either is missing *)
+  | Auto
+      (** try {!Native}, fall back to {!Interp} when no compiler exists
+          or compilation fails — the fallback is observable (the
+          [native.fallbacks] counter plus a flight-recorder incident),
+          never silent *)
+
 type t = {
   fuse : bool;  (** auto-grouping on; off = one group per stage *)
   tile_2d : int array;  (** overlapped tile sizes for rank-2 groups *)
@@ -55,6 +67,11 @@ type t = {
           or pathologically slow stage raises
           {!Repro_runtime.Watchdog.Deadline_exceeded} instead of
           blocking the solve forever. *)
+  backend : backend;
+      (** execution backend selector.  [Interp] in every preset; the
+          CLIs and bench harness override it.  Excluded from {!pp} (and
+          therefore from plan digests): it changes how a plan runs, not
+          what it computes. *)
 }
 
 val naive : t
@@ -69,5 +86,10 @@ val name : t -> string
 (** Best-effort name of the matching preset, or ["custom"]. *)
 
 val with_tiles : t -> t2:int array -> t3:int array -> t
+
+val backend_of_string : string -> backend option
+(** Recognizes ["interp"], ["native"], ["auto"]. *)
+
+val backend_name : backend -> string
 
 val pp : Format.formatter -> t -> unit

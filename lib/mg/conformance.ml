@@ -402,6 +402,85 @@ let c_verdict_pass = function
   | C_fail _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Backend axis: interpreter-vs-native lockstep                         *)
+
+(* For each plan variant the reference iterates come from the
+   interpreter running that same plan (at 1 and 4 domains), and the
+   candidate is the dlopen'd native kernel compiled from it — so a
+   mismatch is pinned to the backend, not to the schedule.  The native
+   kernel is the emitted C under a different harness, so it shares the
+   [vs_c] budget. *)
+let native_case ?(budgets = default_budgets) ?(quick = false) cfg ~n ~cycles
+    () =
+  let dims = cfg.Cycle.dims in
+  let prob = Problem.poisson ~dims ~n in
+  let f = prob.Problem.f in
+  let variants =
+    if quick then [ ("naive", Options.naive); ("opt+", Options.opt_plus) ]
+    else ("naive", Options.naive) :: plan_variants
+  in
+  let domain_list = if quick then [ 1 ] else [ 1; 4 ] in
+  let pairs =
+    List.concat_map
+      (fun (vname, opts) ->
+        let plan =
+          Solver.polymg_plan cfg ~n ~opts:{ opts with Options.backend = Interp }
+        in
+        let pipe = plan.Plan.pipeline in
+        let vin = Cycle.input_v pipe and fin = Cycle.input_f pipe in
+        let out_id = Cycle.output pipe in
+        match Native.load plan with
+        | Error e ->
+          (* a load failure is a conformance failure, not a skip: the
+             campaign only runs when a compiler is present *)
+          [ { candidate = "native:" ^ vname;
+              domains = 1;
+              max_abs = infinity;
+              max_ulp = infinity;
+              worst_cycle = 0;
+              budget = budgets.vs_c;
+              pass = false;
+              first_bad_stage = Some ("native load: " ^ e, infinity) } ]
+        | Ok kernel ->
+          List.map
+            (fun domains ->
+              let refs = Array.make (cycles + 1) prob.Problem.v in
+              Exec.with_runtime ~domains (fun rt ->
+                  let step = Solver.plan_stepper plan ~rt in
+                  for c = 1 to cycles do
+                    let out = Grid.create (Grid.extents prob.Problem.v) in
+                    step ~v:refs.(c - 1) ~f ~out;
+                    refs.(c) <- out
+                  done);
+              let d, wc =
+                lockstep ~refs ~f ~cycles (fun ~v ~f ~out ->
+                    Native.run kernel
+                      ~inputs:[ (vin, v); (fin, f) ]
+                      ~outputs:[ (out_id, out) ])
+              in
+              { candidate = "native:" ^ vname;
+                domains;
+                max_abs = d.max_abs;
+                max_ulp = d.max_ulp;
+                worst_cycle = wc;
+                budget = budgets.vs_c;
+                pass = d.max_abs <= budgets.vs_c;
+                first_bad_stage = None })
+            domain_list)
+      variants
+  in
+  { bench = Cycle.bench_name cfg; n; cycles; pairs }
+
+let native_campaign ?(budgets = default_budgets) ?(quick = false) () =
+  match Native.available () with
+  | false -> Error "no C compiler found (tried gcc, cc)"
+  | true ->
+    Ok
+      (List.map
+         (fun (cfg, n) -> native_case ~budgets ~quick cfg ~n ~cycles:3 ())
+         (campaign_matrix ~quick))
+
+(* ------------------------------------------------------------------ *)
 (* Method-of-manufactured-solutions convergence order                   *)
 
 type mms = {

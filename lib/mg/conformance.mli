@@ -120,6 +120,25 @@ val c_campaign : ?budget:float -> ?quick:bool -> unit -> (string * c_verdict) li
 val c_verdict_pass : c_verdict -> bool
 (** Skips count as passing (they are reported, not hidden). *)
 
+(** {2 Backend axis: interpreter vs native} *)
+
+val native_case :
+  ?budgets:budgets -> ?quick:bool -> Cycle.config -> n:int -> cycles:int ->
+  unit -> case
+(** Lockstep differential oracle across the backend axis: for every
+    plan variant, the reference iterates come from the interpreter
+    running that plan (at 1 and 4 domains unless [quick]), and the
+    candidate (named [native:<variant>]) is the dlopen'd kernel
+    {!Repro_core.Native} compiled from the same plan, judged against
+    the [vs_c] budget.  A kernel that fails to load is reported as a
+    failing pair — the case assumes a compiler is present. *)
+
+val native_campaign :
+  ?budgets:budgets -> ?quick:bool -> unit -> (case list, string) result
+(** The backend axis over {!campaign_matrix}.  [Error reason] when no C
+    compiler is available, so callers surface a visible skip instead of
+    a silent pass. *)
+
 (** {2 MMS convergence order} *)
 
 type mms = { m_dims : int; m_samples : (int * float) list; m_order : float }

@@ -274,6 +274,7 @@ type config = {
   sv_primary_retries : int;
   sv_retry_backoff : float;
   sv_allow_faults : bool;
+  sv_backend : Options.backend;
   sv_clock : unit -> float;
 }
 
@@ -289,6 +290,7 @@ let default_config =
     sv_primary_retries = 1;
     sv_retry_backoff = 0.0;
     sv_allow_faults = false;
+    sv_backend = Options.Interp;
     sv_clock = Unix.gettimeofday }
 
 (* ------------------------------------------------------------------ *)
@@ -588,7 +590,11 @@ let validate t rq =
           Error
             (Printf.sprintf "n must be a multiple of %d and at least %d" step
                (Cycle.min_n ccfg))
-        else Stdlib.Ok (ccfg, opts))
+        else
+          (* the backend is a daemon deployment property, not a request
+             field: apply it here so every plan (and every governance
+             ladder rung derived from these opts) inherits it *)
+          Stdlib.Ok (ccfg, { opts with Options.backend = t.cfg.sv_backend }))
 
 let cache_key t rq budget =
   let n1, n2, n3 = rq.rq_smoothing in

@@ -152,6 +152,10 @@ type config = {
   sv_primary_retries : int;  (** {!Guard.policy.primary_retries} *)
   sv_retry_backoff : float;  (** {!Guard.policy.retry_backoff} seconds *)
   sv_allow_faults : bool;  (** honor the [rq_fault] chaos hook *)
+  sv_backend : Repro_core.Options.backend;
+      (** execution backend applied to every admitted request's plan
+          (a deployment property of the daemon, not a request field:
+          tenants should not be able to trigger compiler runs) *)
   sv_clock : unit -> float;
       (** monotonic seconds; injectable so admission and fairness math
           are unit-testable with a frozen clock *)
@@ -160,7 +164,7 @@ type config = {
 val default_config : config
 (** Queue cap 256, 1 worker, 1 domain, max 64 cycles, max [n] 1024,
     retry-after 0.05 s, 1 primary retry with no backoff, faults off,
-    [Unix.gettimeofday]. *)
+    interpreter backend, [Unix.gettimeofday]. *)
 
 (** {2 Server} *)
 

@@ -106,11 +106,31 @@ let plan_stepper plan ~rt =
   let vin = Cycle.input_v pipeline in
   let fin = Cycle.input_f pipeline in
   let out = Cycle.output pipeline in
-  Flightrec.note_plan ~digest:(Plan.digest plan)
-    ~variant:(Options.name plan.Plan.opts);
-  fun ~v ~f ~out:out_grid ->
+  let digest = Plan.digest plan in
+  let variant = Options.name plan.Plan.opts in
+  Flightrec.note_plan ~digest ~variant;
+  let interp ~v ~f ~out:out_grid =
     Exec.run plan rt ~inputs:[ (vin, v); (fin, f) ]
       ~outputs:[ (out, out_grid) ]
+  in
+  let native k ~v ~f ~out:out_grid =
+    Native.run k ~inputs:[ (vin, v); (fin, f) ]
+      ~outputs:[ (out, out_grid) ]
+  in
+  match plan.Plan.opts.Options.backend with
+  | Options.Interp -> interp
+  | Options.Native ->
+    (* forced native: no compiler, an unemittable plan, or a compile
+       failure is an error, never a silent downgrade *)
+    (match Native.load plan with
+     | Stdlib.Ok k -> native k
+     | Stdlib.Error e -> raise (Native.Unavailable e))
+  | Options.Auto ->
+    (match Native.load plan with
+     | Stdlib.Ok k -> native k
+     | Stdlib.Error e ->
+       Native.note_fallback ~digest ~variant ~reason:e;
+       interp)
 
 let polymg_stepper cfg ~n ~opts ~rt = plan_stepper (polymg_plan cfg ~n ~opts) ~rt
 
